@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Ablation benches for the design choices DESIGN.md calls out (beyond the
+ * paper's own figures):
+ *
+ *  1. Sign handling in BRCR: sign-split binary matching (default) vs the
+ *     ternary {-1,0,+1} pattern variant (DESIGN.md 4.1) — repetition
+ *     captured, additions and pattern-space cost.
+ *  2. HBM data layout (Fig 13): bit-slice-first vs value-level layout for
+ *     partial-plane fetches (the BGPP access pattern).
+ *  3. Pipeline overlap (Fig 10): tile-level simulation of the
+ *     load -> decode -> compute pipeline, measuring the utilization the
+ *     paper quotes (~78%) and the gain over serial execution.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "brcr/brcr_engine.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "quant/gemm.hpp"
+#include "model/llm_config.hpp"
+#include "model/synthetic.hpp"
+#include "sim/layer_sim.hpp"
+#include "sim/layout.hpp"
+#include "sim/tiling.hpp"
+
+using namespace mcbp;
+
+namespace {
+
+void
+signModeAblation()
+{
+    bench::banner("Ablation: BRCR sign handling — sign-split (binary "
+                  "patterns) vs ternary patterns");
+    Rng rng(2025);
+    model::WeightProfile profile;
+    profile.dynamicRange = 16.0;
+    quant::QuantizedWeight qw = model::synthesizeQuantizedWeight(
+        rng, 64, 2048, quant::BitWidth::Int8, profile);
+    std::vector<std::int8_t> x(2048);
+    for (auto &v : x)
+        v = static_cast<std::int8_t>(
+            static_cast<std::int64_t>(rng.uniformInt(255)) - 127);
+
+    Table t({"Variant", "Pattern space", "Total adds", "Merge adds",
+             "CAM keys/group", "Exact"});
+    for (std::size_t m : {3u, 4u, 5u}) {
+        brcr::BrcrEngine engine({m, quant::BitWidth::Int8});
+        auto ref = quant::gemvInt(qw.values, x);
+        brcr::BrcrGemvResult split = engine.gemv(qw.values, x);
+        brcr::BrcrGemvResult tern = engine.gemvTernary(qw.values, x);
+        t.addRow({"split m=" + std::to_string(m),
+                  std::to_string(1u << m),
+                  std::to_string(split.ops.totalAdds()),
+                  std::to_string(split.ops.mergeAdds),
+                  std::to_string((1u << m) - 1),
+                  split.y == ref ? "yes" : "NO"});
+        std::size_t p3 = 1;
+        for (std::size_t i = 0; i < m; ++i)
+            p3 *= 3;
+        t.addRow({"ternary m=" + std::to_string(m), std::to_string(p3),
+                  std::to_string(tern.ops.totalAdds()),
+                  std::to_string(tern.ops.mergeAdds),
+                  std::to_string(p3 - 1),
+                  tern.y == ref ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+    std::cout << "Takeaway: both are exact; the ternary variant halves "
+                 "the plane passes but pays a 3^m pattern space — the "
+                 "sign-split keeps the CAM at 2^m keys, which is why the "
+                 "paper's 4-bit CAM design implies binary matching.\n";
+}
+
+void
+layoutAblation()
+{
+    bench::banner("Ablation (Fig 13): HBM layout for partial bit-plane "
+                  "fetches");
+    const sim::McbpConfig &cfg = sim::defaultConfig();
+    Table t({"Fetch", "Bit-slice layout [MB]", "Value layout [MB]",
+             "Traffic saving", "Row-act saving"});
+    for (std::size_t planes : {1u, 2u, 4u, 8u}) {
+        sim::LayoutCost bs =
+            sim::bitSliceLayoutFetch(cfg, 4096, 4096, planes);
+        sim::LayoutCost val =
+            sim::valueLayoutFetch(cfg, 4096, 4096, planes);
+        t.addRow({std::to_string(planes) + " plane(s)",
+                  fmt(bs.bytesTouched / 1e6, 1),
+                  fmt(val.bytesTouched / 1e6, 1),
+                  fmtX(static_cast<double>(val.bytesTouched) /
+                       static_cast<double>(bs.bytesTouched), 1),
+                  fmtX(static_cast<double>(val.rowActivations) /
+                       std::max<std::uint64_t>(1, bs.rowActivations),
+                       1)});
+    }
+    t.print(std::cout);
+    std::cout << "BGPP's early rounds fetch 1-2 planes: the bit-slice "
+                 "layout is what makes those fetches cheap.\n";
+}
+
+void
+pipelineUtilization()
+{
+    bench::banner("Ablation (Fig 10): tile pipeline utilization on a "
+                  "Llama7B projection layer");
+    const model::LlmConfig &m = model::findModel("Llama7B");
+    const sim::McbpConfig &cfg = sim::defaultConfig();
+    sim::TilePlan plan =
+        planGemmTiling(cfg, m.hidden, m.hidden, 512, 1.25);
+
+    // Per-tile costs: a TMxTK weight tile loads (TM*TK/CR) bytes,
+    // decodes ~1.25 symbols/byte over 80 lanes, and computes
+    // TM*TK*TN MACs at ~1.4 adds/MAC over the fabric.
+    const double tile_bytes =
+        static_cast<double>(plan.tileM) * plan.tileK / 1.25;
+    sim::TileCosts tile;
+    tile.loadCycles = tile_bytes / cfg.hbmBytesPerCycle() /
+                      static_cast<double>(plan.gridN); // reused across N
+    tile.decodeCycles = tile_bytes * 1.25 /
+                        static_cast<double>(cfg.decoderLanes) /
+                        static_cast<double>(plan.gridN);
+    tile.computeCycles = static_cast<double>(plan.tileM) * plan.tileK *
+                         plan.tileN * 1.4 / cfg.peakAddsPerCycle();
+
+    sim::TilePipelineResult r =
+        sim::simulateUniformTiles(tile, plan.totalTiles());
+    Table t({"Metric", "Value"});
+    t.addRow({"Tiles", std::to_string(r.tiles)});
+    t.addRow({"Pipelined cycles", fmt(r.totalCycles, 0)});
+    t.addRow({"Serial cycles", fmt(r.serialCycles, 0)});
+    t.addRow({"Overlap gain", fmtX(r.overlapGain())});
+    t.addRow({"Compute utilization", fmtPct(r.computeUtilization())});
+    t.addRow({"HBM utilization", fmtPct(r.loadUtilization())});
+    t.addRow({"Decoder utilization", fmtPct(r.decodeUtilization())});
+    t.print(std::cout);
+    std::cout << "Paper reference: MCBP's pipelined workflow reaches ~78% "
+                 "average utilization (section 5.3).\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    signModeAblation();
+    layoutAblation();
+    pipelineUtilization();
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: section
+ * banners and normalization utilities. Each bench binary prints the rows
+ * or series of one paper table/figure (EXPERIMENTS.md records the
+ * paper-vs-measured comparison).
+ */
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace mcbp::bench {
+
+/** Print a figure/table banner. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n=== " << title << " ===\n";
+}
+
+/** Normalize a series so its maximum is 1.0. */
+inline std::vector<double>
+normalizeToMax(const std::vector<double> &v)
+{
+    double mx = 0.0;
+    for (double x : v)
+        mx = std::max(mx, x);
+    std::vector<double> out(v.size(), 0.0);
+    if (mx > 0.0)
+        for (std::size_t i = 0; i < v.size(); ++i)
+            out[i] = v[i] / mx;
+    return out;
+}
+
+/** Normalize a series to its first element. */
+inline std::vector<double>
+normalizeToFirst(const std::vector<double> &v)
+{
+    std::vector<double> out(v.size(), 0.0);
+    if (!v.empty() && v[0] > 0.0)
+        for (std::size_t i = 0; i < v.size(); ++i)
+            out[i] = v[i] / v[0];
+    return out;
+}
+
+} // namespace mcbp::bench

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Fig 5: the four motivation studies.
+ *   (b) computation reduction: vanilla full-size merge vs group-wise
+ *       merge across the 5 LLMs (paper mean: group-wise 5.1x better);
+ *   (d) value sparsity vs bit sparsity across the 5 LLMs (mean 10.1x);
+ *   (f) attention latency: dense vs top-k (prediction becomes the
+ *       bottleneck, ~56% of the remaining time);
+ *   (g) KV-cache access: vanilla top-k vs BGPP vs the oracle optimum
+ *       (paper: ~2.9x mean reduction, 49.6% below value-level top-k).
+ */
+#include <iostream>
+
+#include "accel/mcbp_accelerator.hpp"
+#include "bench_util.hpp"
+#include "bgpp/bgpp_predictor.hpp"
+#include "bgpp/topk_baseline.hpp"
+#include "bitslice/sparsity.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "model/synthetic.hpp"
+
+using namespace mcbp;
+
+namespace {
+
+void
+figB_and_D()
+{
+    bench::banner("Fig 5(b)(d): merge strategies and value-vs-bit sparsity "
+                  "across LLMs");
+    Table t({"Model", "Full-size merge", "Group-wise merge (m=4)",
+             "Group adv.", "Value SR", "Bit SR", "Bit/Value"});
+    double adv_sum = 0.0, ratio_sum = 0.0;
+    for (const auto &m : model::modelZoo()) {
+        Rng rng(101 + m.hidden);
+        model::WeightProfile profile;
+        profile.dynamicRange = m.dynamicRange;
+        quant::QuantizedWeight qw = model::synthesizeQuantizedWeight(
+            rng, 64, m.hidden, quant::BitWidth::Int8, profile);
+        bitslice::SparsityReport sr =
+            bitslice::analyzeSparsity(qw.values, quant::BitWidth::Int8);
+        // Aggregate merge costs over all magnitude planes. Reductions
+        // are relative to dense bit-serial execution: the vanilla
+        // full-size merge streams all bits of every distinct column, so
+        // with rare full-column duplicates it barely improves on dense.
+        bitslice::SignMagnitude sm =
+            bitslice::decompose(qw.values, quant::BitWidth::Int8);
+        double dense = 0, full = 0, group = 0;
+        for (const auto &plane : sm.magnitude) {
+            bitslice::MergeCost c =
+                bitslice::compareMergeStrategies(plane, 4);
+            dense += static_cast<double>(c.denseAdds);
+            full += static_cast<double>(c.fullMergeDenseAdds);
+            group += static_cast<double>(c.groupMergeAdds);
+        }
+        const double red_full = dense / full;
+        const double red_group = dense / group;
+        const double adv = red_group / red_full;
+        const double ratio = sr.meanBitSparsity /
+                             std::max(1e-9, sr.valueSparsity);
+        adv_sum += adv;
+        ratio_sum += ratio;
+        t.addRow({m.name, fmtX(red_full), fmtX(red_group), fmtX(adv),
+                  fmtPct(sr.valueSparsity), fmtPct(sr.meanBitSparsity),
+                  fmtX(ratio, 1)});
+    }
+    const double n = static_cast<double>(model::modelZoo().size());
+    t.addRow({"Mean", "-", "-", fmtX(adv_sum / n), "-", "-",
+              fmtX(ratio_sum / n, 1)});
+    t.print(std::cout);
+    std::cout << "Paper reference: group-wise merge 5.1x better than "
+                 "full-size merge; bit sparsity 10.1x value sparsity.\n";
+}
+
+void
+figF_and_G()
+{
+    bench::banner("Fig 5(f)(g): top-k prediction overhead and KV access "
+                  "reduction");
+    // (f) dense vs top-k attention latency split on Llama7B decode.
+    {
+        const model::LlmConfig &m = model::findModel("Llama7B");
+        const model::Workload &task = model::findTask("Wikitext2");
+        accel::AttentionStats as =
+            accel::profileAttention(m, task, 0.6, 1);
+        // Dense attention: all keys + values loaded and computed, plus
+        // the softmax pass; top-k: prediction (4+1 bit scan of all keys)
+        // followed by formal compute (QK^T + softmax + PV) on the
+        // selected keys only.
+        const double ctx = static_cast<double>(task.promptLen);
+        const double dense = 2.0 * ctx * 8.0 + ctx * 8.0;
+        const double pred = ctx * as.valuePredBitsPerElem;
+        const double formal = 3.0 * ctx * 8.0 * as.topkFraction;
+        const double topk_total = pred + formal;
+        Table t({"Scheme", "Norm latency", "Prediction share"});
+        t.addRow({"Dense attention", fmt(1.0), "-"});
+        t.addRow({"Top-k attention", fmt(topk_total / dense),
+                  fmtPct(pred / topk_total)});
+        t.print(std::cout);
+        std::cout << "Paper reference: top-k cuts attention latency ~45%, "
+                     "but prediction becomes ~56% of what remains.\n";
+    }
+    // (g) KV traffic: vanilla top-k / value top-k / BGPP / oracle.
+    {
+        Table t({"Scenario", "Vanilla top-k", "Value top-k", "BGPP (ours)",
+                 "Oracle optimal"});
+        struct Scene
+        {
+            const char *name;
+            const char *model;
+            const char *task;
+        };
+        for (const Scene &sc :
+             {Scene{"Llama7B-cola", "Llama7B", "Cola"},
+              Scene{"Llama7B-dolly", "Llama7B", "Dolly"},
+              Scene{"Llama13B-dolly", "Llama13B", "Dolly"}}) {
+            const model::LlmConfig &m = model::findModel(sc.model);
+            const model::Workload &task = model::findTask(sc.task);
+            Rng rng(7);
+            const std::size_t s =
+                std::min<std::size_t>(task.promptLen, 2048);
+            model::AttentionSet set = model::synthesizeAttention(
+                rng, s, m.headDim(), task.attentionConcentration);
+            bgpp::BgppConfig cfg;
+            cfg.alpha = 0.6;
+            cfg.logitScale = set.logitScale;
+            bgpp::BgppPredictor pred(cfg);
+            bgpp::BgppResult br = pred.predict(set.query, set.keys);
+            const std::size_t k = std::max<std::size_t>(
+                1, br.selected.size());
+            bgpp::TopkResult vt = bgpp::valueTopk(set.query, set.keys, k);
+            // Per-scheme K bits: prediction + formal fetch of selected.
+            const double formal = static_cast<double>(k) *
+                                  m.headDim() * 8.0;
+            const double vanilla =
+                static_cast<double>(s) * m.headDim() * 8.0 + formal;
+            const double value =
+                static_cast<double>(vt.bitsFetched) + formal;
+            const double ours =
+                static_cast<double>(br.bitsFetched) + formal;
+            const double oracle = formal;
+            t.addRow({sc.name, fmtX(vanilla / ours),
+                      fmtX(value / ours), fmtX(1.0),
+                      fmtX(oracle / ours)});
+        }
+        t.print(std::cout);
+        std::cout << "(columns normalized to BGPP=1; >1 means that scheme "
+                     "moves more KV bits)\n";
+        std::cout << "Paper reference: BGPP cuts KV accesses up to ~50% vs "
+                     "value-level prediction, ~2.9x vs vanilla top-k.\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    figB_and_D();
+    figF_and_G();
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fig 22: area and power breakdown of the MCBP accelerator at TSMC 28 nm
+ * / 1 GHz.
+ *
+ * Area comes from the calibrated area model (9.52 mm^2 total). Power is
+ * *measured* from a representative workload run: the per-unit energies
+ * divided by runtime, plus the DRAM and memory-interface shares.
+ */
+#include <iostream>
+
+#include "accel/mcbp_accelerator.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/area_model.hpp"
+
+using namespace mcbp;
+
+int
+main()
+{
+    bench::banner("Fig 22(a): area breakdown (TSMC 28 nm)");
+    sim::AreaBreakdown area = sim::computeArea(sim::defaultConfig());
+    {
+        Table t({"Unit", "Area [mm^2]", "Share"});
+        const double total = area.total();
+        auto row = [&](const char *name, double v) {
+            t.addRow({name, fmt(v, 3), fmtPct(v / total)});
+        };
+        row("BRCR unit (incl. CAM)", area.brcrUnit);
+        row("  of which CAM", area.camOnly);
+        row("BSTC unit", area.bstcUnit);
+        row("BGPP unit", area.bgppUnit);
+        row("SRAM", area.sram);
+        row("Scheduler", area.scheduler);
+        row("APU", area.apu);
+        t.addRow({"Total", fmt(total, 2), "100%"});
+        t.print(std::cout);
+        std::cout << "Paper reference: 9.52 mm^2; BRCR 38.2%, SRAM 19.1%, "
+                     "APU 18.4%, scheduler 13.4%, BSTC 6.2%, BGPP 4.5%.\n";
+    }
+
+    bench::banner("Fig 22(b): power breakdown (Llama7B Wikilingua)");
+    {
+        accel::McbpAccelerator mcbp = accel::makeMcbpStandard();
+        accel::RunMetrics r = mcbp.run(model::findModel("Llama7B"),
+                                       model::findTask("Wikilingua"));
+        sim::EnergyBreakdown e = r.prefill.energy;
+        e.merge(r.decode.energy);
+        const double seconds = r.seconds();
+        // Memory interface (PHY) power modeled as a fixed fraction of
+        // the DRAM transfer power, per the paper's methodology [44].
+        const double dram_w = e.dramPj * 1e-12 / seconds;
+        const double phy_w = dram_w * 0.30;
+        const double core_w = e.onChipPj() * 1e-12 / seconds;
+        const double total_w = dram_w + phy_w + core_w;
+
+        Table t({"Component", "Power [W]", "Share"});
+        t.addRow({"DRAM", fmt(dram_w, 3), fmtPct(dram_w / total_w)});
+        t.addRow({"Memory interface", fmt(phy_w, 3),
+                  fmtPct(phy_w / total_w)});
+        t.addRow({"Core", fmt(core_w, 3), fmtPct(core_w / total_w)});
+        t.addRow({"Total", fmt(total_w, 3), "100%"});
+        t.print(std::cout);
+
+        // Core-part split.
+        Table c({"Core unit", "Share of core"});
+        const double core_pj = e.onChipPj();
+        c.addRow({"BRCR (compute+CAM)",
+                  fmtPct((e.computePj + e.camPj) / core_pj)});
+        c.addRow({"BSTC codec", fmtPct(e.codecPj / core_pj)});
+        c.addRow({"BGPP unit", fmtPct(e.bgppPj / core_pj)});
+        c.addRow({"SRAM", fmtPct(e.sramPj / core_pj)});
+        c.addRow({"SFU/APU", fmtPct(e.sfuPj / core_pj)});
+        c.print(std::cout);
+        std::cout << "Paper reference: 2.395 W total; DRAM 47.6%, memory "
+                     "interface 15.1%, core 37.3% (BRCR 44.7% of core).\n";
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig 23: per-stage (prefill / decoding) speedup and energy comparison
+ * against SOFA, Spatten, FACT, Bitwave and FuseKNA on Llama7B for Dolly,
+ * Wikilingua and MBPP.
+ *
+ * Paper shape: MCBP averages 6.2x (prefill) and 4.8x (decode) over the
+ * field; bit-reorder energy is large for FuseKNA (~30%) and Bitwave
+ * (~18%) but ~3% for MCBP.
+ */
+#include <iostream>
+
+#include "accel/baselines.hpp"
+#include "accel/mcbp_accelerator.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace mcbp;
+
+int
+main()
+{
+    const model::LlmConfig &m = model::findModel("Llama7B");
+    accel::WeightStats ws =
+        accel::profileWeights(m, quant::BitWidth::Int8, 1);
+    accel::McbpAccelerator mcbp = accel::makeMcbpStandard();
+
+    for (bool decode_stage : {false, true}) {
+        bench::banner(std::string("Fig 23: ") +
+                      (decode_stage ? "decoding" : "prefill") +
+                      " stage, Llama7B (speedup vs SOFA, energy "
+                      "normalized to SOFA)");
+        Table t({"Task", "Accel", "Speedup", "Norm energy",
+                 "Bit-reorder share"});
+        for (const char *task_name : {"Dolly", "Wikilingua", "MBPP"}) {
+            const model::Workload &task = model::findTask(task_name);
+            accel::AttentionStats as =
+                accel::profileAttention(m, task, 0.6, 1);
+
+            struct Entry
+            {
+                std::string name;
+                double cycles;
+                double energy;
+                double reorder;
+            };
+            std::vector<Entry> entries;
+            auto add = [&](const std::string &name,
+                           const accel::RunMetrics &r) {
+                const auto &ph = decode_stage ? r.decode : r.prefill;
+                entries.push_back(
+                    {name, ph.cycles, ph.energy.totalPj(),
+                     ph.energy.bitReorderPj /
+                         std::max(1.0, ph.energy.totalPj())});
+            };
+            add("SOFA",
+                accel::BaselineAccelerator(accel::makeSofa(as)).run(m, task));
+            add("Spatten", accel::BaselineAccelerator(
+                               accel::makeSpatten(as)).run(m, task));
+            add("FACT",
+                accel::BaselineAccelerator(accel::makeFact(as)).run(m, task));
+            add("Bitwave", accel::BaselineAccelerator(
+                               accel::makeBitwave(ws)).run(m, task));
+            add("FuseKNA", accel::BaselineAccelerator(
+                               accel::makeFuseKna(ws)).run(m, task));
+            add("MCBP", mcbp.run(m, task));
+
+            const double base_cycles = entries.front().cycles;
+            const double base_energy = entries.front().energy;
+            for (const Entry &e : entries) {
+                t.addRow({task_name, e.name,
+                          fmtX(base_cycles / e.cycles),
+                          fmt(e.energy / base_energy),
+                          fmtPct(e.reorder)});
+            }
+        }
+        t.print(std::cout);
+    }
+    std::cout << "\nPaper reference: MCBP mean 6.2x (prefill) / 4.8x "
+                 "(decode); bit-reorder ~30% for FuseKNA, ~18% for "
+                 "Bitwave, ~3% for MCBP.\n";
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fig 24: (a) the alpha_r sweep — fidelity proxy vs attention sparsity
+ * on reasoning-like (MMLU) and generation-like (MBPP) workloads;
+ * (b) the hardware ablation — area/power/throughput/efficiency of
+ * systolic -> BRCR -> +BSTC -> +BGPP.
+ */
+#include <iostream>
+
+#include "accel/baselines.hpp"
+#include "accel/mcbp_accelerator.hpp"
+#include "bench_util.hpp"
+#include "bgpp/bgpp_predictor.hpp"
+#include "bgpp/topk_baseline.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "model/synthetic.hpp"
+#include "sim/area_model.hpp"
+
+using namespace mcbp;
+
+namespace {
+
+void
+alphaSweep()
+{
+    bench::banner("Fig 24(a): alpha_r sweep — recall proxy vs attention "
+                  "sparsity (Llama7B)");
+    const model::LlmConfig &m = model::findModel("Llama7B");
+    Table t({"alpha", "MMLU recall", "MMLU sparsity", "MBPP recall",
+             "MBPP sparsity"});
+    for (double alpha : {0.8, 0.7, 0.6, 0.5, 0.4, 0.3}) {
+        std::vector<std::string> row = {fmt(alpha, 1)};
+        for (const char *task_name : {"MMLU", "MBPP"}) {
+            const model::Workload &task = model::findTask(task_name);
+            Rng rng(2024);
+            double recall_sum = 0.0, spars_sum = 0.0;
+            const int reps = 6;
+            for (int i = 0; i < reps; ++i) {
+                model::AttentionSet set = model::synthesizeAttention(
+                    rng, std::min<std::size_t>(task.promptLen, 1024),
+                    m.headDim(), task.attentionConcentration);
+                bgpp::BgppConfig cfg;
+                cfg.alpha = alpha;
+                cfg.logitScale = set.logitScale;
+                bgpp::BgppPredictor pred(cfg);
+                bgpp::BgppResult r = pred.predict(set.query, set.keys);
+                bgpp::TopkResult truth = bgpp::exactTopk(
+                    set.query, set.keys,
+                    std::max<std::size_t>(1, r.selected.size()));
+                recall_sum += bgpp::recall(r.selected, truth.selected);
+                spars_sum += bgpp::BgppPredictor::attentionSparsity(
+                    r, set.keys.rows());
+            }
+            row.push_back(fmtPct(recall_sum / reps));
+            row.push_back(fmtPct(spars_sum / reps));
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout << "Paper reference: accuracy degrades noticeably below "
+                 "alpha < 0.6 (MBPP) / < 0.5 (MMLU); sparsity gains "
+                 "saturate below 0.5. MCBP operates at 0.5-0.6.\n";
+}
+
+void
+hardwareAblation()
+{
+    bench::banner("Fig 24(b): hardware ablation vs equal-throughput "
+                  "systolic array (Llama7B Wikilingua)");
+    const model::LlmConfig &m = model::findModel("Llama7B");
+    const model::Workload &task = model::findTask("Wikilingua");
+
+    // Equal-throughput framing (the paper's): the systolic reference is
+    // scaled until it matches each config's latency, so its area and
+    // power grow with the speedup while the work's energy is fixed.
+    accel::BaselineAccelerator systolic(accel::makeSystolic());
+    accel::RunMetrics rs = systolic.run(m, task);
+    const double sa_area = sim::systolicBaselineArea(sim::defaultConfig());
+    sim::AreaBreakdown mcbp_area = sim::computeArea(sim::defaultConfig());
+
+    auto cfg = [&](bool r, bool c, bool p) {
+        accel::McbpOptions o;
+        o.enableBrcr = r;
+        o.enableBstc = c;
+        o.enableBgpp = p;
+        return accel::McbpAccelerator(sim::defaultConfig(), o).run(m, task);
+    };
+    accel::RunMetrics r1 = cfg(true, false, false);
+    accel::RunMetrics r2 = cfg(true, true, false);
+    accel::RunMetrics r3 = cfg(true, true, true);
+
+    // Areas: BRCR-only omits the codec/BGPP units.
+    const double a1 = mcbp_area.total() - mcbp_area.bstcUnit -
+                      mcbp_area.bgppUnit;
+    const double a2 = mcbp_area.total() - mcbp_area.bgppUnit;
+    const double a3 = mcbp_area.total();
+
+    Table t({"Config", "Norm area", "Norm power", "Norm throughput",
+             "Norm efficiency"});
+    auto row = [&](const char *name, const accel::RunMetrics &r,
+                   double area) {
+        const double speedup = rs.seconds() / r.seconds();
+        // Equal-throughput SA: area and power scale with the lanes it
+        // would need to match this config's latency; energy for the
+        // fixed work does not, so power = energy / (matched time).
+        const double sa_eq_area = sa_area * speedup;
+        const double sa_eq_watts = rs.joules() / r.seconds();
+        t.addRow({name, fmt(area / sa_eq_area),
+                  fmt(r.watts() / sa_eq_watts),
+                  fmtX(speedup),
+                  fmtX(r.gopsPerWatt() /
+                       (rs.gops() / (rs.joules() / rs.seconds())))});
+    };
+    t.addRow({"Systolic", fmt(1.0), fmt(1.0), fmtX(1.0), fmtX(1.0)});
+    row("BRCR", r1, a1);
+    row("+BSTC", r2, a2);
+    row("+BGPP", r3, a3);
+    t.print(std::cout);
+    std::cout << "Paper reference: BRCR cuts area 45% and power 72% vs "
+                 "the equal-throughput SA (3.6x efficiency); BSTC adds "
+                 "2.2x throughput for 16% area; BGPP adds 1.48x for 9%.\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    alphaSweep();
+    hardwareAblation();
+    return 0;
+}

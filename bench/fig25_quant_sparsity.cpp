@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fig 25 (+ Fig 8c): bit-level sparsity under different quantization
+ * strategies — PTQ INT8, QAT INT8, PTQ INT4 — on Llama13B, and the
+ * resulting BRCR/BSTC gains.
+ *
+ * Paper shape: PTQ and QAT INT8 distributions (and bit sparsities) are
+ * nearly identical (~11x value sparsity); PTQ INT4 raises value sparsity
+ * to ~16% but bit sparsity stays ~4x higher (~66%). BRCR cuts
+ * computation 80%/79%/51% and BSTC cuts memory 71%/70%/41% for
+ * PTQ8/QAT8/PTQ4.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "bitslice/sparsity.hpp"
+#include "brcr/brcr_engine.hpp"
+#include "bstc/compressed_weight.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "model/llm_config.hpp"
+#include "model/synthetic.hpp"
+
+using namespace mcbp;
+
+namespace {
+
+struct QuantScenario
+{
+    std::string name;
+    quant::BitWidth bw;
+    bool qat;
+    /** Clip percentile: PTQ INT8 uses absmax (1.0); QAT INT8 clips like
+     *  a learned step (0.9999, nearly identical to PTQ, Fig 25a); PTQ
+     *  INT4 uses group-wise-style clipping (0.995) as QLLM does, or the
+     *  4-bit grid would zero out nearly everything. */
+    double clip;
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig 25: bit vs value sparsity under PTQ INT8 / QAT "
+                  "INT8 / PTQ INT4 (Llama13B)");
+
+    const model::LlmConfig &m = model::findModel("Llama13B");
+    model::WeightProfile profile;
+    profile.dynamicRange = m.dynamicRange;
+
+    const std::vector<QuantScenario> scenarios = {
+        {"PTQ INT8", quant::BitWidth::Int8, false, 1.0},
+        {"QAT INT8", quant::BitWidth::Int8, true, 0.9999},
+        {"PTQ INT4", quant::BitWidth::Int4, true, 0.995},
+    };
+
+    Table t({"Scheme", "Value SR", "Mean bit SR", "Bit/Value", "MSB plane "
+             "SR", "BRCR comp cut", "BSTC mem cut"});
+    for (const auto &sc : scenarios) {
+        Rng rng(77);
+        FloatMatrix wf = model::gaussianWeights(rng, 48, 2048, profile);
+        quant::QuantizedWeight qw =
+            sc.qat ? quant::quantizeWeightQat(wf, sc.bw, sc.clip)
+                   : quant::quantizeWeight(wf, sc.bw);
+        bitslice::SparsityReport rep =
+            bitslice::analyzeSparsity(qw.values, sc.bw);
+
+        // BRCR computation cut vs dense bit-serial.
+        std::vector<std::int8_t> x(2048);
+        for (auto &v : x)
+            v = static_cast<std::int8_t>(
+                static_cast<std::int64_t>(rng.uniformInt(255)) - 127);
+        brcr::BrcrEngine engine({4, sc.bw});
+        brcr::BrcrGemvResult res = engine.gemv(qw.values, x);
+        const double planes =
+            static_cast<double>(quant::magnitudeBits(sc.bw));
+        const double dense = planes * static_cast<double>(qw.values.size());
+        const double comp_cut =
+            1.0 - static_cast<double>(res.ops.totalAdds()) / dense;
+
+        // BSTC memory cut.
+        bstc::PlanePolicy policy = bstc::adaptivePolicy(rep);
+        bstc::CompressedWeight cw(qw.values, sc.bw, 4, policy, 512);
+        const double mem_cut = 1.0 - 1.0 / cw.compressionRatio();
+
+        t.addRow({sc.name, fmtPct(rep.valueSparsity),
+                  fmtPct(rep.meanBitSparsity),
+                  fmtX(rep.meanBitSparsity /
+                       std::max(1e-9, rep.valueSparsity), 1),
+                  fmtPct(rep.planeSparsity.back()),
+                  fmtPct(comp_cut), fmtPct(mem_cut)});
+    }
+    t.print(std::cout);
+
+    bench::banner("Fig 8(c): per-plane sparsity ratio, SM format");
+    Table p({"Model", "Plane1", "Plane2", "Plane3", "Plane4", "Plane5",
+             "Plane6", "Plane7 (MSB)"});
+    for (const char *name : {"Llama7B", "Qwen7B"}) {
+        const model::LlmConfig &mm = model::findModel(name);
+        Rng rng(88);
+        model::WeightProfile pr;
+        pr.dynamicRange = mm.dynamicRange;
+        quant::QuantizedWeight qw = model::synthesizeQuantizedWeight(
+            rng, 48, mm.hidden, quant::BitWidth::Int8, pr);
+        bitslice::SparsityReport rep =
+            bitslice::analyzeSparsity(qw.values, quant::BitWidth::Int8);
+        std::vector<std::string> row = {name};
+        for (double s : rep.planeSparsity)
+            row.push_back(fmtPct(s));
+        p.addRow(row);
+    }
+    p.print(std::cout);
+    std::cout << "Paper reference: planes 3-7 all exceed the 65% BSTC "
+                 "break-even for both models; PTQ/QAT INT8 bit sparsity "
+                 "~11x value sparsity, PTQ INT4 ~4x.\n";
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the hot kernels: bit-slicing,
+ * BRCR GEMV (vs the reference integer GEMV), BSTC encode/decode, CAM
+ * matching and one BGPP prediction round. These measure the *host*
+ * implementation, complementing the cycle model (which measures the
+ * modeled hardware).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bgpp/bgpp_predictor.hpp"
+#include "bitslice/sign_magnitude.hpp"
+#include "brcr/brcr_engine.hpp"
+#include "brcr/cam.hpp"
+#include "bstc/codec.hpp"
+#include "common/rng.hpp"
+#include "model/synthetic.hpp"
+#include "quant/gemm.hpp"
+
+using namespace mcbp;
+
+namespace {
+
+quant::QuantizedWeight
+makeWeights(std::size_t rows, std::size_t cols)
+{
+    Rng rng(1234);
+    model::WeightProfile profile;
+    return model::synthesizeQuantizedWeight(rng, rows, cols,
+                                            quant::BitWidth::Int8, profile);
+}
+
+std::vector<std::int8_t>
+makeVec(std::size_t n)
+{
+    Rng rng(4321);
+    std::vector<std::int8_t> x(n);
+    for (auto &v : x)
+        v = static_cast<std::int8_t>(
+            static_cast<std::int64_t>(rng.uniformInt(255)) - 127);
+    return x;
+}
+
+void
+BM_BitSliceDecompose(benchmark::State &state)
+{
+    quant::QuantizedWeight qw = makeWeights(64, 1024);
+    for (auto _ : state) {
+        auto sm = bitslice::decompose(qw.values, quant::BitWidth::Int8);
+        benchmark::DoNotOptimize(sm.magnitude.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 1024);
+}
+BENCHMARK(BM_BitSliceDecompose);
+
+void
+BM_ReferenceGemv(benchmark::State &state)
+{
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+    quant::QuantizedWeight qw = makeWeights(rows, 1024);
+    auto x = makeVec(1024);
+    for (auto _ : state) {
+        auto y = quant::gemvInt(qw.values, x);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * rows * 1024);
+}
+BENCHMARK(BM_ReferenceGemv)->Arg(64)->Arg(256);
+
+void
+BM_BrcrGemv(benchmark::State &state)
+{
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+    quant::QuantizedWeight qw = makeWeights(rows, 1024);
+    auto x = makeVec(1024);
+    brcr::BrcrEngine engine;
+    for (auto _ : state) {
+        auto res = engine.gemv(qw.values, x);
+        benchmark::DoNotOptimize(res.y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * rows * 1024);
+}
+BENCHMARK(BM_BrcrGemv)->Arg(64)->Arg(256);
+
+void
+BM_BstcEncode(benchmark::State &state)
+{
+    quant::QuantizedWeight qw = makeWeights(64, 2048);
+    bitslice::SignMagnitude sm =
+        bitslice::decompose(qw.values, quant::BitWidth::Int8);
+    for (auto _ : state) {
+        bstc::BitWriter w;
+        bstc::encodePlane(sm.magnitude[5], 4, w);
+        benchmark::DoNotOptimize(w.bytes().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 2048);
+}
+BENCHMARK(BM_BstcEncode);
+
+void
+BM_BstcDecode(benchmark::State &state)
+{
+    quant::QuantizedWeight qw = makeWeights(64, 2048);
+    bitslice::SignMagnitude sm =
+        bitslice::decompose(qw.values, quant::BitWidth::Int8);
+    bstc::BitWriter w;
+    bstc::encodePlane(sm.magnitude[5], 4, w);
+    for (auto _ : state) {
+        bstc::BitReader r(w.bytes(), w.bitCount());
+        auto plane = bstc::decodePlane(r, 4, 64, 2048);
+        benchmark::DoNotOptimize(&plane);
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 2048);
+}
+BENCHMARK(BM_BstcDecode);
+
+void
+BM_CamSearchSweep(benchmark::State &state)
+{
+    Rng rng(9);
+    brcr::CamMatchUnit cam(4, 64);
+    std::vector<std::uint32_t> patterns(64);
+    for (auto &p : patterns)
+        p = static_cast<std::uint32_t>(rng.uniformInt(16));
+    cam.load(patterns);
+    for (auto _ : state) {
+        for (std::uint32_t key = 1; key < 16; ++key) {
+            auto bm = cam.search(key);
+            benchmark::DoNotOptimize(bm.data());
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 15);
+}
+BENCHMARK(BM_CamSearchSweep);
+
+void
+BM_BgppPredict(benchmark::State &state)
+{
+    const std::size_t s = static_cast<std::size_t>(state.range(0));
+    Rng rng(11);
+    model::AttentionSet set = model::synthesizeAttention(rng, s, 64, 0.12);
+    bgpp::BgppConfig cfg;
+    cfg.logitScale = set.logitScale;
+    bgpp::BgppPredictor pred(cfg);
+    for (auto _ : state) {
+        auto r = pred.predict(set.query, set.keys);
+        benchmark::DoNotOptimize(r.selected.data());
+    }
+    state.SetItemsProcessed(state.iterations() * s * 64);
+}
+BENCHMARK(BM_BgppPredict)->Arg(512)->Arg(2048);
+
+} // namespace

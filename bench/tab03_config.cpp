@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table 3: the MCBP hardware configuration, printed from the live
+ * McbpConfig (so any configuration change shows up here), plus derived
+ * capability numbers.
+ */
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/area_model.hpp"
+#include "sim/mcbp_config.hpp"
+
+using namespace mcbp;
+
+int
+main()
+{
+    bench::banner("Table 3: MCBP hardware configuration");
+    const sim::McbpConfig &cfg = sim::defaultConfig();
+    std::cout << cfg.toString();
+
+    bench::banner("Derived figures");
+    Table t({"Quantity", "Value"});
+    t.addRow({"Peak add lanes / cycle", fmt(cfg.peakAddsPerCycle(), 0)});
+    t.addRow({"HBM bytes / core cycle", fmt(cfg.hbmBytesPerCycle(), 0)});
+    t.addRow({"Total SRAM [kB]",
+              std::to_string(cfg.totalSramKb())});
+    t.addRow({"Die area [mm^2]",
+              fmt(sim::computeArea(cfg).total(), 2)});
+    t.print(std::cout);
+    return 0;
+}

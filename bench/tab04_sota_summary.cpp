@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Table 1 + Table 4: capability summary of the SOTA accelerators and
+ * the headline spec comparison (throughput, energy efficiency, area),
+ * with MCBP's GOPS / GOPS/W measured from a representative mixed
+ * workload rather than asserted.
+ *
+ * Paper shape: MCBP 54,463 GOPS and 22,740 GOPS/W — 35x / 5.2x / 3.2x
+ * the efficiency of SpAtten / FACT / SOFA (normalized to 28 nm).
+ */
+#include <iostream>
+
+#include "accel/baselines.hpp"
+#include "accel/mcbp_accelerator.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sim/area_model.hpp"
+
+using namespace mcbp;
+
+int
+main()
+{
+    bench::banner("Table 1: capability summary");
+    {
+        Table t({"Accelerator", "GEMM", "Attention", "Weight", "KV cache",
+                 "Stages", "Level"});
+        t.addRow({"A3/ELSA/Sanger/DOTA", "x", "yes", "x", "x", "P only",
+                  "Value"});
+        t.addRow({"Energon", "x", "yes", "x", "low", "P only", "Value"});
+        t.addRow({"SpAtten", "yes", "yes", "x", "low", "P&D", "Value"});
+        t.addRow({"SOFA", "x", "yes", "x", "yes", "P only", "Value"});
+        t.addRow({"FACT", "yes", "yes", "low", "x", "P only", "Value"});
+        t.addRow({"MCBP", "yes", "yes", "yes", "yes", "P&D", "Bit"});
+        t.print(std::cout);
+    }
+
+    bench::banner("Table 4: spec comparison (28 nm normalized)");
+    {
+        // Measure MCBP on a decode+prefill mix (Wikilingua, Llama7B).
+        const model::LlmConfig &m = model::findModel("Llama7B");
+        const model::Workload &task = model::findTask("Wikilingua");
+        accel::McbpAccelerator mcbp = accel::makeMcbpStandard();
+        accel::RunMetrics rm = mcbp.run(m, task);
+
+        accel::WeightStats ws =
+            accel::profileWeights(m, quant::BitWidth::Int8, 1);
+        accel::AttentionStats as =
+            accel::profileAttention(m, task, 0.6, 1);
+        (void)ws;
+        auto eff = [&](const accel::BaselineTraits &tr) {
+            return accel::BaselineAccelerator(tr).run(m, task);
+        };
+        accel::RunMetrics spatten = eff(accel::makeSpatten(as));
+        accel::RunMetrics fact = eff(accel::makeFact(as));
+        accel::RunMetrics sofa = eff(accel::makeSofa(as));
+
+        Table t({"Design", "Area [mm^2]", "GOPS (measured)",
+                 "GOPS/W (measured)", "MCBP efficiency adv."});
+        const double mcbp_area =
+            sim::computeArea(sim::defaultConfig()).total();
+        auto row = [&](const char *name, const accel::RunMetrics &r,
+                       double area) {
+            t.addRow({name, fmt(area, 2), fmt(r.gops(), 0),
+                      fmt(r.gopsPerWatt(), 0),
+                      fmtX(rm.gopsPerWatt() / r.gopsPerWatt(), 1)});
+        };
+        row("SpAtten*", spatten, 1.55 * 2.0); // 40 nm scaled to 28 nm
+        row("FACT*", fact, 6.03);
+        row("SOFA*", sofa, 4.29);
+        row("MCBP", rm, mcbp_area);
+        t.print(std::cout);
+        std::cout << "(*) baseline areas from their papers; their "
+                     "GOPS/GOPS/W here are measured on the shared "
+                     "platform model running the same workload, which is "
+                     "what the efficiency-advantage column compares.\n";
+        std::cout << "Paper reference: MCBP 54,463 GOPS, 22,740 GOPS/W; "
+                     "35x / 5.2x / 3.2x more efficient than SpAtten / "
+                     "FACT / SOFA.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Compression explorer: apply BSTC to weights of every zoo model under
+ * INT8 and INT4 quantization, show the per-plane decisions the adaptive
+ * policy makes, and verify lossless round-trips — the workflow for
+ * deciding whether a new model benefits from BSTC.
+ */
+#include <iostream>
+
+#include "bitslice/sparsity.hpp"
+#include "bstc/compressed_weight.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "model/llm_config.hpp"
+#include "model/synthetic.hpp"
+
+using namespace mcbp;
+
+int
+main()
+{
+    Table t({"Model", "Quant", "Value SR", "Mean bit SR",
+             "Planes coded", "CR", "Lossless"});
+    for (const auto &m : model::modelZoo()) {
+        for (quant::BitWidth bw :
+             {quant::BitWidth::Int8, quant::BitWidth::Int4}) {
+            Rng rng(m.hidden + (bw == quant::BitWidth::Int4 ? 1 : 0));
+            model::WeightProfile profile;
+            profile.dynamicRange = m.dynamicRange;
+            quant::QuantizedWeight qw = model::synthesizeQuantizedWeight(
+                rng, 48, std::min<std::size_t>(m.hidden, 2048), bw,
+                profile);
+            bitslice::SparsityReport rep =
+                bitslice::analyzeSparsity(qw.values, bw);
+            bstc::PlanePolicy policy = bstc::adaptivePolicy(rep);
+            bstc::CompressedWeight cw(qw.values, bw, 4, policy, 512);
+            const bool lossless = cw.decompressToMatrix() == qw.values;
+
+            std::string coded;
+            for (std::size_t p = 0; p < policy.compress.size(); ++p)
+                if (policy.compress[p])
+                    coded += std::to_string(p + 1);
+            t.addRow({m.name,
+                      bw == quant::BitWidth::Int8 ? "INT8" : "INT4",
+                      fmtPct(rep.valueSparsity),
+                      fmtPct(rep.meanBitSparsity),
+                      coded.empty() ? "-" : coded,
+                      fmtX(cw.compressionRatio()),
+                      lossless ? "yes" : "NO"});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\n'Planes coded' lists the magnitude bit-planes whose "
+                 "sparsity clears the two-state-coding break-even; all "
+                 "round-trips are bit-exact.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * End-to-end inference example: simulate Llama7B on the Dolly
+ * long-context task through the full MCBP accelerator model, print the
+ * per-stage latency/energy/traffic picture, and compare against the
+ * ablation baseline and the A100 roofline.
+ *
+ * Usage: llm_inference [model] [task]
+ *   model: Llama7B (default), Llama13B, OPT1B3, Bloom1B7, Qwen7B
+ *   task : Dolly (default), Cola, MNLI, SST2, Wikitext2, Wikilingua,
+ *          Winogrande, MMLU, MBPP
+ */
+#include <iostream>
+#include <string>
+
+#include "accel/gpu_model.hpp"
+#include "accel/mcbp_accelerator.hpp"
+#include "common/table.hpp"
+
+using namespace mcbp;
+
+namespace {
+
+void
+printPhase(const char *name, const accel::PhaseMetrics &ph)
+{
+    Table t({"Metric", "Value"});
+    t.addRow({"Cycles", fmt(ph.cycles, 0)});
+    t.addRow({"GEMM cycles", fmt(ph.gemmCycles, 0)});
+    t.addRow({"Weight-load cycles", fmt(ph.weightLoadCycles, 0)});
+    t.addRow({"KV/attention cycles", fmt(ph.kvLoadCycles, 0)});
+    t.addRow({"Weight traffic [MB]",
+              fmt(ph.traffic.weightBytes / 1e6, 1)});
+    t.addRow({"Prediction traffic [MB]",
+              fmt(ph.traffic.predictionBytes / 1e6, 1)});
+    t.addRow({"KV traffic [MB]", fmt(ph.traffic.kvBytes / 1e6, 1)});
+    t.addRow({"Energy [mJ]", fmt(ph.energy.totalPj() * 1e-9, 2)});
+    std::cout << "\n-- " << name << " --\n";
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string model_name = argc > 1 ? argv[1] : "Llama7B";
+    const std::string task_name = argc > 2 ? argv[2] : "Dolly";
+
+    const model::LlmConfig &m = model::findModel(model_name);
+    const model::Workload &task = model::findTask(task_name);
+
+    std::cout << "Simulating " << m.name << " ("
+              << m.totalParams() / 1000000 << "M params, H=" << m.hidden
+              << ", L=" << m.layers << ") on " << task.name
+              << " (prompt " << task.promptLen << ", decode "
+              << task.decodeLen << ", batch " << task.batch << ")\n";
+
+    accel::McbpAccelerator mcbp = accel::makeMcbpStandard();
+    accel::RunMetrics r = mcbp.run(m, task);
+    printPhase("Prefill", r.prefill);
+    printPhase("Decode", r.decode);
+
+    std::cout << "\nTotals: " << fmt(r.seconds() * 1e3, 1) << " ms, "
+              << fmt(r.joules(), 3) << " J, " << fmt(r.watts(), 2)
+              << " W, " << fmt(r.gops(), 0) << " GOPS effective, "
+              << fmt(r.gopsPerWatt(), 0) << " GOPS/W\n";
+
+    // Context: the ablation baseline and the GPU.
+    accel::McbpAccelerator base = accel::makeMcbpBaseline();
+    accel::RunMetrics rb = base.run(m, task);
+    accel::GpuA100Model gpu;
+    accel::RunMetrics rg = gpu.run(m, task);
+    accel::McbpAccelerator mcbp148 = accel::makeMcbpStandard(148);
+    accel::RunMetrics r148 = mcbp148.run(m, task);
+
+    std::cout << "\nvs ablation baseline (same chip): "
+              << fmtX(accel::speedupVs(r, rb)) << " faster, "
+              << fmtX(accel::energySavingVs(r, rb)) << " less energy\n";
+    std::cout << "vs A100 (148 MCBP processors, paper setup): "
+              << fmtX(accel::speedupVs(r148, rg)) << " faster, "
+              << fmtX(r148.gopsPerWatt() / rg.gopsPerWatt())
+              << " more efficient\n";
+    return 0;
+}

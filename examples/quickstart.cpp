@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Quickstart: the MCBP public API in one file.
+ *
+ * 1. Quantize a small Gaussian weight matrix to INT8 (per-channel).
+ * 2. Decompose it into sign-magnitude bit-slices and inspect sparsity.
+ * 3. Run the BRCR engine and verify it matches the reference integer
+ *    GEMV while spending far fewer additions.
+ * 4. Compress the weights with BSTC and round-trip them losslessly.
+ * 5. Predict vital attention keys with BGPP and compare its K-cache
+ *    traffic against value-level top-k.
+ */
+#include <iostream>
+
+#include "bgpp/bgpp_predictor.hpp"
+#include "bgpp/topk_baseline.hpp"
+#include "bitslice/sparsity.hpp"
+#include "brcr/brcr_engine.hpp"
+#include "bstc/compressed_weight.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "model/synthetic.hpp"
+#include "quant/gemm.hpp"
+
+int
+main()
+{
+    using namespace mcbp;
+
+    Rng rng(42);
+
+    // --- 1. Quantize a weight matrix -----------------------------------
+    model::WeightProfile profile;
+    profile.dynamicRange = 16.0;
+    quant::QuantizedWeight qw = model::synthesizeQuantizedWeight(
+        rng, 128, 1024, quant::BitWidth::Int8, profile);
+    std::cout << "Quantized a 128x1024 weight matrix to INT8 "
+                 "(per-channel symmetric).\n";
+
+    // --- 2. Bit-slice sparsity ------------------------------------------
+    bitslice::SparsityReport sr =
+        bitslice::analyzeSparsity(qw.values, quant::BitWidth::Int8);
+    std::cout << "value sparsity " << fmtPct(sr.valueSparsity)
+              << ", mean bit sparsity " << fmtPct(sr.meanBitSparsity)
+              << " (" << fmt(sr.meanBitSparsity /
+                             std::max(1e-9, sr.valueSparsity), 1)
+              << "x higher)\n";
+
+    // --- 3. BRCR GEMV ----------------------------------------------------
+    std::vector<std::int8_t> x(1024);
+    for (auto &v : x)
+        v = static_cast<std::int8_t>(
+            static_cast<std::int64_t>(rng.uniformInt(255)) - 127);
+
+    brcr::BrcrEngine engine;
+    brcr::BrcrGemvResult res = engine.gemv(qw.values, x);
+    std::vector<std::int32_t> ref = quant::gemvInt(qw.values, x);
+    const bool exact = res.y == ref;
+    const double dense_adds = 7.0 * 128.0 * 1024.0;
+    std::cout << "BRCR GEMV exact: " << (exact ? "yes" : "NO") << ", "
+              << res.ops.totalAdds() << " adds vs "
+              << static_cast<std::uint64_t>(dense_adds)
+              << " bit-serial adds ("
+              << fmtX(dense_adds /
+                      static_cast<double>(res.ops.totalAdds()))
+              << " reduction)\n";
+
+    // --- 4. BSTC compression ---------------------------------------------
+    bstc::PlanePolicy policy = bstc::paperDefaultPolicy(7);
+    bstc::CompressedWeight cw(qw.values, quant::BitWidth::Int8, 4, policy);
+    const bool lossless = cw.decompressToMatrix() == qw.values;
+    std::cout << "BSTC compression ratio "
+              << fmtX(cw.compressionRatio()) << ", lossless round-trip: "
+              << (lossless ? "yes" : "NO") << "\n";
+
+    // --- 5. BGPP attention prediction -------------------------------------
+    model::AttentionSet attn =
+        model::synthesizeAttention(rng, 512, 64, 0.12);
+    bgpp::BgppConfig cfg;
+    cfg.logitScale = attn.logitScale;
+    bgpp::BgppPredictor predictor(cfg);
+    bgpp::BgppResult bres = predictor.predict(attn.query, attn.keys);
+
+    bgpp::TopkResult vres = bgpp::valueTopk(
+        attn.query, attn.keys, bres.selected.size());
+    bgpp::TopkResult truth = bgpp::exactTopk(
+        attn.query, attn.keys, bres.selected.size());
+
+    std::cout << "BGPP kept " << bres.selected.size()
+              << "/512 keys, recall "
+              << fmtPct(bgpp::recall(bres.selected, truth.selected))
+              << ", K-bits fetched " << bres.bitsFetched << " vs "
+              << vres.bitsFetched << " for value top-k ("
+              << fmtX(static_cast<double>(vres.bitsFetched) /
+                      static_cast<double>(bres.bitsFetched))
+              << " traffic saving)\n";
+    return exact && lossless ? 0 : 1;
+}

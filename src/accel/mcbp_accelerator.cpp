@@ -1,0 +1,387 @@
+#include "accel/mcbp_accelerator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "sim/hbm.hpp"
+#include "sim/pe_cluster.hpp"
+#include "sim/pipeline.hpp"
+
+namespace mcbp::accel {
+
+namespace {
+
+/** Bit-serial adds per dense MAC for INT8 activations (attention formal
+ *  compute on KV tensors, whose bit sparsity is milder than weights'). */
+constexpr double kAttnAddsPerMac = 3.15; // 7 planes x (1 - 0.55).
+
+} // namespace
+
+struct McbpAccelerator::PhaseInput
+{
+    const model::LlmConfig *model = nullptr;
+    const WeightStats *ws = nullptr;
+    const AttentionStats *as = nullptr;
+    double batch = 1.0;
+    double queries = 0.0;   ///< Tokens producing queries this phase.
+    double context = 0.0;   ///< Average attention context length.
+    double steps = 1.0;     ///< Phase repetitions (decode tokens).
+    bool weightResident = false; ///< Prefill reuses weights across tokens.
+    bool kvOnChipTiling = false; ///< Prefill streams KV via SRAM tiles.
+};
+
+McbpAccelerator::McbpAccelerator(sim::McbpConfig hw, McbpOptions opts)
+    : hw_(hw), opts_(opts)
+{
+    fatalIf(opts_.processors == 0, "processor count must be positive");
+}
+
+std::string
+McbpAccelerator::name() const
+{
+    if (!opts_.enableBrcr && !opts_.enableBstc && !opts_.enableBgpp)
+        return "Baseline";
+    if (!opts_.enableBstc || !opts_.enableBgpp || !opts_.enableBrcr) {
+        std::string n = "MCBP[";
+        if (opts_.enableBrcr)
+            n += "R";
+        if (opts_.enableBstc)
+            n += "C";
+        if (opts_.enableBgpp)
+            n += "P";
+        return n + "]";
+    }
+    return opts_.alpha <= 0.55 ? "MCBP(A)" : "MCBP(S)";
+}
+
+const WeightStats &
+McbpAccelerator::weightStats(const model::LlmConfig &model) const
+{
+    auto it = weightCache_.find(model.name);
+    if (it == weightCache_.end()) {
+        it = weightCache_
+                 .emplace(model.name,
+                          profileWeights(model, opts_.bitWidth, opts_.seed))
+                 .first;
+    }
+    return it->second;
+}
+
+const AttentionStats &
+McbpAccelerator::attentionStats(const model::LlmConfig &model,
+                                const model::Workload &task) const
+{
+    const std::string key = model.name + "/" + task.name + "/" +
+                            std::to_string(opts_.alpha);
+    auto it = attnCache_.find(key);
+    if (it == attnCache_.end()) {
+        it = attnCache_
+                 .emplace(key, profileAttention(model, task, opts_.alpha,
+                                                opts_.seed))
+                 .first;
+    }
+    return it->second;
+}
+
+PhaseMetrics
+McbpAccelerator::simulatePhase(const PhaseInput &in) const
+{
+    const model::LlmConfig &m = *in.model;
+    const WeightStats &ws = *in.ws;
+    const AttentionStats &as = *in.as;
+    const double procs = static_cast<double>(opts_.processors);
+    const double layers = static_cast<double>(m.layers);
+    const double hidden = static_cast<double>(m.hidden);
+
+    sim::PeClusterModel fabric(hw_);
+    sim::Hbm hbm(hw_);
+    sim::EnergyModel energy;
+
+    // ---- Linear (QKV / O / FFN) portion, per layer per step -------------
+    const double lin_macs = static_cast<double>(m.paramsPerLayer()) *
+                            in.queries * in.batch / procs;
+    // Without BRCR the fabric degrades to sparsity-aware bit-serial
+    // computing (zero bits skipped, no cross-vector merging) — the
+    // paper's ablation baseline.
+    const double adds_per_mac =
+        opts_.enableBrcr ? ws.brcrAddsPerMac : ws.bscAddsPerMac;
+    const double lin_adds = lin_macs * adds_per_mac;
+
+    sim::BrcrWork lin_work;
+    if (opts_.enableBrcr) {
+        lin_work.mergeAdds = lin_adds * (1.0 - ws.reconFraction);
+        lin_work.reconAdds = lin_adds * ws.reconFraction;
+        // CAM searches amortize over the activation tile columns.
+        const double amortize = std::max(
+            1.0, std::min(in.queries * in.batch,
+                          static_cast<double>(hw_.tileN)));
+        lin_work.camSearches = ws.camSearchesPerMac * lin_macs / amortize;
+        lin_work.camLoads = lin_macs / amortize;
+    } else {
+        lin_work.mergeAdds = lin_adds;
+    }
+    const double lin_compute_cycles = fabric.brcrCycles(lin_work);
+
+    // Weight traffic: once per layer if resident (prefill), every step
+    // otherwise (decode).
+    const double weight_cr =
+        opts_.enableBstc ? ws.bstcCompressionRatio
+                         : std::max(1.0, ws.valueCompressionRatio);
+    const double weight_bytes_raw =
+        static_cast<double>(m.paramsPerLayer()) / procs;
+    const double weight_bytes = weight_bytes_raw / weight_cr;
+    const double weight_load_cycles =
+        hbm.read(static_cast<std::uint64_t>(weight_bytes), 0.95).cycles;
+
+    // Decompression throughput: BSTC's two-state decoder retires one
+    // symbol per lane-cycle (1-bit CMP + SIPO, Fig 15b). The value-level
+    // Huffman baseline needs a tree-walk per variable-length symbol —
+    // about half the symbol rate within the same decoder area — and one
+    // symbol per weight value.
+    double decode_cycles = 0.0;
+    if (opts_.enableBstc) {
+        decode_cycles = fabric.codecCycles(
+            {ws.bstcSymbolsPerByte * weight_bytes_raw});
+    } else {
+        decode_cycles = fabric.codecCycles({weight_bytes_raw * 2.0});
+    }
+
+    // Activation traffic per layer per step.
+    const double act_bytes = (2.0 * hidden + static_cast<double>(m.ffn)) *
+                             in.queries * in.batch / procs;
+    const double act_cycles =
+        static_cast<double>(act_bytes) / hbm.bytesPerCycle();
+
+    // ---- Attention portion ----------------------------------------------
+    // Prediction scans all (query, key) pairs at reduced precision.
+    const double pair_elems =
+        in.queries * in.context * hidden * in.batch / procs;
+    const double pred_bits_per_elem = opts_.enableBgpp
+                                          ? as.bgppPredBitsPerElem
+                                          : as.valuePredBitsPerElem;
+    const double selected = opts_.enableBgpp ? as.bgppSelectedFraction
+                                             : as.topkFraction;
+
+    // KV residency: prefill tiles K/V through the token SRAM (re-reads
+    // scale with query tiling); decode streams the cache per token.
+    double kv_sweeps = 1.0;
+    if (in.kvOnChipTiling) {
+        const double q_tile_rows = std::max(
+            64.0, static_cast<double>(hw_.tokenSramKb) * 1024.0 /
+                      (4.0 * hidden));
+        kv_sweeps = std::max(1.0, in.queries * in.batch / q_tile_rows);
+    }
+    const double pred_bytes = in.context * hidden *
+                              (pred_bits_per_elem / 8.0) * kv_sweeps *
+                              (in.kvOnChipTiling ? 1.0 : in.batch) / procs;
+    const double pred_bit_macs =
+        opts_.enableBgpp ? pair_elems * as.bgppBitMacsPerElem
+                         : pair_elems; // 4-bit estimate ~ 1 op/elem.
+    const double pred_compute_cycles =
+        opts_.enableBgpp
+            ? fabric.bgppCycles({pred_bit_macs, in.queries * in.batch *
+                                                    in.context / procs})
+            : fabric.denseMacCycles(pair_elems / 2.0);
+    const double pred_load_cycles =
+        static_cast<double>(pred_bytes) / hbm.bytesPerCycle();
+    const double pred_cycles =
+        std::max(pred_compute_cycles, pred_load_cycles);
+
+    // Formal sparse attention over the selected keys.
+    const double attn_macs =
+        2.0 * in.queries * in.context * hidden * in.batch * selected /
+        procs;
+    const double attn_adds = attn_macs * kAttnAddsPerMac;
+    const double attn_cycles = fabric.brcrCycles({attn_adds, 0, 0, 0});
+    const double kv_bytes = 2.0 * in.context * hidden * selected *
+                                kv_sweeps *
+                                (in.kvOnChipTiling ? 1.0 : in.batch) /
+                                procs +
+                            2.0 * hidden * in.queries * in.batch / procs;
+    const double kv_cycles =
+        hbm.read(static_cast<std::uint64_t>(kv_bytes), 0.5).cycles;
+
+    // SFU: softmax over selected scores + norms/activation functions.
+    const double sfu_ops = in.queries * in.context * selected * in.batch *
+                               2.0 / procs +
+                           6.0 * in.queries * in.batch * hidden / procs;
+    const double sfu_cycles = sfu_ops / 64.0; // 64-lane FP16 SFU.
+
+    // ---- Compose the layer ----------------------------------------------
+    sim::StageCycles stages;
+    stages.weightLoad = in.weightResident
+                            ? weight_load_cycles / std::max(1.0, in.steps)
+                            : weight_load_cycles;
+    stages.weightDecode = in.weightResident
+                              ? decode_cycles / std::max(1.0, in.steps)
+                              : decode_cycles;
+    stages.linearCompute = lin_compute_cycles;
+    stages.prediction = pred_cycles;
+    stages.kvLoad = kv_cycles;
+    stages.attention = attn_cycles;
+    stages.sfu = sfu_cycles;
+    stages.actLoad = act_cycles;
+    const sim::LayerLatency lat = sim::composeLayer(stages);
+
+    PhaseMetrics out;
+    out.cycles = lat.totalCycles * layers * in.steps;
+    out.denseMacs = (lin_macs + 2.0 * in.queries * in.context * hidden *
+                                    in.batch / procs) *
+                    layers * in.steps * procs;
+    out.executedAdds = (lin_adds + attn_adds + pred_bit_macs) * layers *
+                       in.steps * procs;
+
+    // Latency attribution (Fig 1a / Fig 19 style): the linear segment is
+    // charged to whichever pipeline stage bounds it.
+    if (stages.weightLoad >= stages.linearCompute &&
+        stages.weightLoad >= stages.weightDecode &&
+        stages.weightLoad >= stages.actLoad) {
+        out.weightLoadCycles = lat.linearPart * layers * in.steps;
+        out.gemmCycles = 0.0;
+    } else {
+        out.gemmCycles = lat.linearPart * layers * in.steps;
+        out.weightLoadCycles = 0.0;
+    }
+    out.kvLoadCycles = lat.attentionPart * layers * in.steps;
+    out.otherCycles = lat.exposedSfu * layers * in.steps;
+
+    // Traffic (whole phase, per processor).
+    const double weight_traffic =
+        weight_bytes * layers * (in.weightResident ? 1.0 : in.steps);
+    out.traffic.weightBytes = weight_traffic;
+    out.traffic.predictionBytes = pred_bytes * layers * in.steps;
+    out.traffic.kvBytes = kv_bytes * layers * in.steps;
+    out.traffic.actBytes = act_bytes * layers * in.steps;
+
+    // Energy.
+    const double steps_l = layers * in.steps;
+    sim::EnergyBreakdown &e = out.energy;
+    e.computePj = energy.addsEnergy(static_cast<std::uint64_t>(
+                      (lin_adds + attn_adds) * steps_l)) +
+                  energy.shiftEnergy(static_cast<std::uint64_t>(
+                      lin_adds * 0.15 * steps_l));
+    e.camPj = energy.camEnergy(
+        static_cast<std::uint64_t>(lin_work.camSearches * steps_l),
+        static_cast<std::uint64_t>(lin_work.camLoads * steps_l));
+    const double decode_symbols =
+        opts_.enableBstc ? ws.bstcSymbolsPerByte * weight_bytes_raw
+                         : weight_bytes_raw;
+    e.codecPj = energy.codecEnergy(
+        static_cast<std::uint64_t>(decode_symbols * steps_l *
+                                   (in.weightResident ? 1.0 / in.steps
+                                                      : 1.0)));
+    // BGPP spends 1-bit AND/adder-tree ops; the value-level baseline
+    // spends a 4-bit x 8-bit MAC per key element.
+    e.bgppPj = opts_.enableBgpp
+                   ? energy.bgppEnergy(static_cast<std::uint64_t>(
+                         pred_bit_macs * steps_l))
+                   : energy.int4MacEnergy(static_cast<std::uint64_t>(
+                         pred_bit_macs * steps_l));
+    e.dramPj = energy.dramEnergy(static_cast<std::uint64_t>(
+        weight_traffic + out.traffic.predictionBytes +
+        out.traffic.kvBytes + out.traffic.actBytes));
+    // SRAM traffic: decompressed weights and activation/KV staging in
+    // the large arrays, plus the per-addition operand reads the AMUs
+    // issue against the banked activation buffers.
+    e.sramPj = energy.sramEnergy(
+                   static_cast<std::uint64_t>(
+                       (weight_bytes_raw *
+                            (in.weightResident ? 1.0 : in.steps) * layers +
+                        2.0 * (out.traffic.actBytes +
+                               out.traffic.kvBytes))),
+                   true) +
+               energy.operandEnergy(
+                   static_cast<std::uint64_t>(lin_adds * steps_l));
+    e.sfuPj = energy.sfuEnergy(
+        static_cast<std::uint64_t>(sfu_ops * steps_l));
+    // Bit reordering only appears when the storage format is value-level
+    // (BSTC off): every *decompressed* weight bit is staged through the
+    // reorder buffer before it can feed the bit-serial PEs.
+    if (!opts_.enableBstc) {
+        const double raw_traffic =
+            weight_bytes_raw * layers *
+            (in.weightResident ? 1.0 : in.steps);
+        e.bitReorderPj = energy.bitReorderEnergy(
+            static_cast<std::uint64_t>(raw_traffic * 8.0));
+    }
+    return out;
+}
+
+RunMetrics
+McbpAccelerator::run(const model::LlmConfig &model,
+                     const model::Workload &task) const
+{
+    const WeightStats &ws = weightStats(model);
+    const AttentionStats &as = attentionStats(model, task);
+
+    RunMetrics rm;
+    rm.accelerator = name();
+    rm.modelName = model.name;
+    rm.taskName = task.name;
+    rm.clockGhz = hw_.clockGhz;
+    rm.processors = opts_.processors;
+
+    // Prefill: all prompt tokens at once, weights resident per layer,
+    // KV tiled through SRAM. Average causal context = S/2.
+    PhaseInput pre;
+    pre.model = &model;
+    pre.ws = &ws;
+    pre.as = &as;
+    pre.batch = static_cast<double>(task.batch);
+    pre.queries = static_cast<double>(task.promptLen);
+    pre.context = static_cast<double>(task.promptLen) / 2.0;
+    pre.steps = 1.0;
+    pre.weightResident = true;
+    pre.kvOnChipTiling = true;
+    rm.prefill = simulatePhase(pre);
+
+    // Decode: one token per step, weights re-fetched every token,
+    // KV cache streamed from HBM. Average context = S + D/2.
+    if (task.decodeLen > 0) {
+        PhaseInput dec;
+        dec.model = &model;
+        dec.ws = &ws;
+        dec.as = &as;
+        dec.batch = static_cast<double>(task.batch);
+        dec.queries = 1.0;
+        dec.context = static_cast<double>(task.promptLen) +
+                      static_cast<double>(task.decodeLen) / 2.0;
+        dec.steps = static_cast<double>(task.decodeLen);
+        dec.weightResident = false;
+        dec.kvOnChipTiling = false;
+        rm.decode = simulatePhase(dec);
+    }
+    return rm;
+}
+
+McbpAccelerator
+makeMcbpStandard(std::size_t processors)
+{
+    McbpOptions o;
+    o.alpha = 0.6;
+    o.processors = processors;
+    return McbpAccelerator(sim::defaultConfig(), o);
+}
+
+McbpAccelerator
+makeMcbpAggressive(std::size_t processors)
+{
+    McbpOptions o;
+    o.alpha = 0.5;
+    o.processors = processors;
+    return McbpAccelerator(sim::defaultConfig(), o);
+}
+
+McbpAccelerator
+makeMcbpBaseline(std::size_t processors)
+{
+    McbpOptions o;
+    o.enableBrcr = false;
+    o.enableBstc = false;
+    o.enableBgpp = false;
+    o.processors = processors;
+    return McbpAccelerator(sim::defaultConfig(), o);
+}
+
+} // namespace mcbp::accel

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Common result types for accelerator runs: cycles, energy, traffic and
+ * derived throughput/efficiency metrics, shared by the MCBP model, the
+ * GPU roofline and all SOTA baselines so the evaluation benches compare
+ * like with like.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/energy_model.hpp"
+
+namespace mcbp::accel {
+
+/** Off-chip traffic in bytes. */
+struct Traffic
+{
+    double weightBytes = 0.0;
+    double kvBytes = 0.0;       ///< KV formal reads + writes.
+    double predictionBytes = 0.0; ///< K bits fetched by sparsity prediction.
+    double actBytes = 0.0;
+
+    double
+    total() const
+    {
+        return weightBytes + kvBytes + predictionBytes + actBytes;
+    }
+
+    void
+    merge(const Traffic &o)
+    {
+        weightBytes += o.weightBytes;
+        kvBytes += o.kvBytes;
+        predictionBytes += o.predictionBytes;
+        actBytes += o.actBytes;
+    }
+};
+
+/** One inference phase (prefill or decode). */
+struct PhaseMetrics
+{
+    double cycles = 0.0;
+    sim::EnergyBreakdown energy;
+    Traffic traffic;
+    double denseMacs = 0.0;    ///< Logical dense work (for GOPS).
+    double executedAdds = 0.0; ///< Effective datapath ops performed.
+    /** Latency contributors (Fig 1a-style breakdown). */
+    double gemmCycles = 0.0;
+    double weightLoadCycles = 0.0;
+    double kvLoadCycles = 0.0;
+    double otherCycles = 0.0;
+
+    void merge(const PhaseMetrics &o);
+};
+
+/** A full run = prefill + decode. */
+struct RunMetrics
+{
+    std::string accelerator;
+    std::string modelName;
+    std::string taskName;
+    PhaseMetrics prefill;
+    PhaseMetrics decode;
+    double clockGhz = 1.0;
+    std::size_t processors = 1; ///< Chips ganged for the run.
+
+    double totalCycles() const { return prefill.cycles + decode.cycles; }
+
+    /** Wall time in seconds. */
+    double seconds() const;
+
+    /** Total energy in joules. */
+    double joules() const;
+
+    /** Average power in watts. */
+    double watts() const;
+
+    /** Effective throughput in GOPS (2 x dense MACs / time). */
+    double gops() const;
+
+    /** Energy efficiency in GOPS/W. */
+    double gopsPerWatt() const;
+};
+
+/** speedup of @p test vs @p baseline (wall time ratio). */
+double speedupVs(const RunMetrics &test, const RunMetrics &baseline);
+
+/** energy saving factor of @p test vs @p baseline. */
+double energySavingVs(const RunMetrics &test, const RunMetrics &baseline);
+
+} // namespace mcbp::accel

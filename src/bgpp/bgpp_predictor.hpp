@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Bit-Grained Progressive Prediction (paper section 3.3, Fig 9, Eq (1)).
+ *
+ * BGPP estimates the attention row bit-serially, MSB magnitude plane
+ * first. After each round r it computes the radius-based threshold
+ *
+ *     theta_r = max(A_hat_r) - alpha_r * radius            (Eq 1)
+ *
+ * (radius expressed in score units through a logit scale) and discards
+ * keys whose partial estimate falls below theta_r; the next round fetches
+ * the next magnitude plane of the *survivors only* — the early
+ * termination that removes the K-cache traffic value-level top-k wastes.
+ * If the threshold falls below the observed minimum, the clipping module
+ * is clock-gated and the round filters nothing (tracked in the stats).
+ *
+ * Traffic accounting is bit-exact: round 1 fetches sign+MSB of all keys,
+ * round r > 1 fetches one plane of the survivors.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgpp/topk_baseline.hpp"
+#include "common/matrix.hpp"
+
+namespace mcbp::bgpp {
+
+/** BGPP configuration. */
+struct BgppConfig
+{
+    /** Filtering rounds = magnitude planes examined (<= 7 for INT8). */
+    std::size_t rounds = 4;
+    /** alpha_r in Eq (1); the paper sweeps 0.3-0.8, default 0.5-0.6. */
+    double alpha = 0.55;
+    /**
+     * Optional per-round alpha_r schedule (Eq (1) indexes alpha by round
+     * r). When non-empty, round r uses alphaSchedule[r] (clamped to the
+     * last entry for later rounds) instead of the scalar alpha.
+     */
+    std::vector<double> alphaSchedule;
+    /** Softmax radius (logit gap); the paper's empirical default is 3. */
+    double radius = 3.0;
+    /**
+     * Conversion from integer partial scores to softmax logits:
+     * logit = score * logitScale (set from quant scales / sqrt(d)).
+     */
+    double logitScale = 1.0;
+    /** Never prune below this many survivors (decode needs >= 1 key). */
+    std::size_t minKeep = 1;
+};
+
+/** Result of a BGPP prediction for one query row. */
+struct BgppResult
+{
+    std::vector<std::uint32_t> selected;  ///< Surviving key indices.
+    std::vector<std::int32_t> estimates;  ///< Final partial scores (all keys;
+                                          ///< pruned keys keep last value).
+    std::uint64_t bitsFetched = 0;        ///< K-cache bits loaded.
+    std::uint64_t macs = 0;               ///< Bit-level MACs (AND+add).
+    std::size_t roundsRun = 0;            ///< Rounds actually executed.
+    std::size_t clockGatedRounds = 0;     ///< Rounds with gated clipping.
+    /** Survivor count after each round (for the sparsity sweep). */
+    std::vector<std::size_t> survivorsPerRound;
+};
+
+/**
+ * The BGPP predictor. Stateless; per-call configuration.
+ */
+class BgppPredictor
+{
+  public:
+    explicit BgppPredictor(BgppConfig cfg = {});
+
+    const BgppConfig &config() const { return cfg_; }
+
+    /**
+     * Predict the vital keys for query @p q against @p keys (S x d,
+     * INT8). Keys are processed in sign-magnitude form internally.
+     */
+    BgppResult predict(const std::vector<std::int8_t> &q,
+                       const Int8Matrix &keys) const;
+
+    /** Fraction of keys pruned by a result. */
+    static double attentionSparsity(const BgppResult &r,
+                                    std::size_t total_keys);
+
+  private:
+    BgppConfig cfg_;
+};
+
+} // namespace mcbp::bgpp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Value-level top-k attention prediction baseline (paper section 2.2,
+ * Fig 3): the three-stage pre-compute / top-k sort / formal compute
+ * pipeline used by Spatten, FACT, SOFA et al., which BGPP improves on.
+ *
+ * The pre-compute stage loads a low-precision version of every key (the
+ * top @p estimate_bits magnitude bits, 4 in the paper) and computes the
+ * full estimated attention row; the sort stage picks the k highest keys.
+ * Traffic and op accounting is exact so Fig 5(g) and Fig 17/23 can charge
+ * the baseline its real prediction overhead.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace mcbp::bgpp {
+
+/** Result of one top-k prediction. */
+struct TopkResult
+{
+    std::vector<std::uint32_t> selected; ///< Key indices kept.
+    std::uint64_t bitsFetched = 0;       ///< K-cache bits loaded.
+    std::uint64_t macs = 0;              ///< Multiply-accumulates spent.
+    std::vector<std::int32_t> estimates; ///< Estimated scores (all keys).
+};
+
+/**
+ * Exact ground-truth top-k by full-precision scores (the oracle used for
+ * recall metrics and the "theoretically optimal" traffic line).
+ *
+ * @param q query vector (d).
+ * @param keys key matrix (S x d, row = key).
+ * @param k number of keys to keep.
+ */
+TopkResult exactTopk(const std::vector<std::int8_t> &q,
+                     const Int8Matrix &keys, std::size_t k);
+
+/**
+ * Value-level estimated top-k: scores computed from the top
+ * @p estimate_bits magnitude bits (+ sign) of every key element.
+ */
+TopkResult valueTopk(const std::vector<std::int8_t> &q,
+                     const Int8Matrix &keys, std::size_t k,
+                     unsigned estimate_bits = 4);
+
+/** Recall of @p predicted against @p truth (|intersection| / |truth|). */
+double recall(const std::vector<std::uint32_t> &predicted,
+              const std::vector<std::uint32_t> &truth);
+
+} // namespace mcbp::bgpp

@@ -1,0 +1,78 @@
+#include "bitslice/bit_plane.hpp"
+
+#include <bit>
+
+#include "common/bit_util.hpp"
+#include "common/logging.hpp"
+
+namespace mcbp::bitslice {
+
+BitPlane::BitPlane(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), wordsPerRow_((cols + 63) / 64),
+      words_(rows * wordsPerRow_, 0)
+{
+}
+
+std::uint64_t
+BitPlane::countOnes() const
+{
+    std::uint64_t n = 0;
+    for (auto w : words_)
+        n += std::popcount(w);
+    return n;
+}
+
+std::uint64_t
+BitPlane::countOnesInRow(std::size_t r) const
+{
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < wordsPerRow_; ++i)
+        n += std::popcount(words_[r * wordsPerRow_ + i]);
+    return n;
+}
+
+double
+BitPlane::sparsity() const
+{
+    if (rows_ == 0 || cols_ == 0)
+        return 1.0;
+    const double total = static_cast<double>(rows_) * cols_;
+    return 1.0 - static_cast<double>(countOnes()) / total;
+}
+
+std::uint32_t
+BitPlane::columnPattern(std::size_t row0, std::size_t m, std::size_t c) const
+{
+    panicIf(m > 16, "group size > 16 unsupported");
+    std::uint32_t p = 0;
+    const std::size_t last = std::min(row0 + m, rows_);
+    for (std::size_t r = row0; r < last; ++r)
+        p |= static_cast<std::uint32_t>(get(r, c)) << (r - row0);
+    return p;
+}
+
+void
+BitPlane::columnPatterns(std::size_t row0, std::size_t m,
+                         std::vector<std::uint32_t> &out) const
+{
+    panicIf(m > 16, "group size > 16 unsupported");
+    out.assign(cols_, 0);
+    const std::size_t last = std::min(row0 + m, rows_);
+    for (std::size_t r = row0; r < last; ++r) {
+        const std::uint64_t *row = words_.data() + r * wordsPerRow_;
+        const std::uint32_t shift = static_cast<std::uint32_t>(r - row0);
+        for (std::size_t c = 0; c < cols_; ++c) {
+            const std::uint64_t bit = (row[c >> 6] >> (c & 63)) & 1u;
+            out[c] |= static_cast<std::uint32_t>(bit) << shift;
+        }
+    }
+}
+
+bool
+BitPlane::operator==(const BitPlane &other) const
+{
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           words_ == other.words_;
+}
+
+} // namespace mcbp::bitslice

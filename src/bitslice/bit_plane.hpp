@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Packed 1-bit matrices ("bit-slice matrices" in the paper, section 2.3).
+ *
+ * A BitPlane stores one bit position of a sign-magnitude weight matrix:
+ * rows x cols single bits, packed 64 columns per word. The BRCR engine
+ * extracts m-row column patterns from it, and the BSTC codec compresses it
+ * group-column by group-column.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace mcbp::bitslice {
+
+/** A rows x cols binary matrix packed in 64-bit words (row-major). */
+class BitPlane
+{
+  public:
+    BitPlane() = default;
+
+    /** Create an all-zero plane. */
+    BitPlane(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Read bit (r, c). */
+    bool
+    get(std::size_t r, std::size_t c) const
+    {
+        return (words_[wordIndex(r, c)] >> (c & 63)) & 1u;
+    }
+
+    /** Write bit (r, c). */
+    void
+    set(std::size_t r, std::size_t c, bool v)
+    {
+        std::uint64_t &w = words_[wordIndex(r, c)];
+        const std::uint64_t mask = std::uint64_t{1} << (c & 63);
+        if (v)
+            w |= mask;
+        else
+            w &= ~mask;
+    }
+
+    /** Number of set bits in the whole plane. */
+    std::uint64_t countOnes() const;
+
+    /** Number of set bits in row @p r. */
+    std::uint64_t countOnesInRow(std::size_t r) const;
+
+    /** Fraction of zero bits (the paper's per-plane sparsity ratio SR). */
+    double sparsity() const;
+
+    /**
+     * Column pattern of @p m consecutive rows starting at @p row0, at
+     * column @p c. Bit i of the result is row (row0 + i)'s bit — i.e. the
+     * "grouped index" of Fig 7(b). @p m must be <= 16.
+     */
+    std::uint32_t columnPattern(std::size_t row0, std::size_t m,
+                                std::size_t c) const;
+
+    /**
+     * All column patterns for a row group, appended to @p out (resized to
+     * cols()). Vectorized over the packed words; this is the hot loop of
+     * both BRCR and BSTC.
+     */
+    void columnPatterns(std::size_t row0, std::size_t m,
+                        std::vector<std::uint32_t> &out) const;
+
+    bool operator==(const BitPlane &other) const;
+
+  private:
+    std::size_t
+    wordIndex(std::size_t r, std::size_t c) const
+    {
+        return r * wordsPerRow_ + (c >> 6);
+    }
+
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::size_t wordsPerRow_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace mcbp::bitslice

@@ -1,0 +1,93 @@
+#include "bitslice/sign_magnitude.hpp"
+
+#include "common/bit_util.hpp"
+#include "common/logging.hpp"
+
+namespace mcbp::bitslice {
+
+SignMagnitude
+decompose(const Int8Matrix &w, quant::BitWidth bw)
+{
+    const int planes = quant::magnitudeBits(bw);
+    const int level = quant::maxLevel(bw);
+    SignMagnitude sm;
+    sm.rows = w.rows();
+    sm.cols = w.cols();
+    sm.sign = BitPlane(w.rows(), w.cols());
+    sm.magnitude.assign(planes, BitPlane(w.rows(), w.cols()));
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        for (std::size_t c = 0; c < w.cols(); ++c) {
+            const int v = w.at(r, c);
+            fatalIf(v > level || v < -level,
+                    "value out of range for the requested bit width");
+            const unsigned mag = static_cast<unsigned>(v < 0 ? -v : v);
+            if (v < 0)
+                sm.sign.set(r, c, true);
+            for (int p = 0; p < planes; ++p) {
+                if ((mag >> p) & 1u)
+                    sm.magnitude[p].set(r, c, true);
+            }
+        }
+    }
+    return sm;
+}
+
+Int8Matrix
+reconstruct(const SignMagnitude &sm)
+{
+    Int8Matrix w(sm.rows, sm.cols);
+    for (std::size_t r = 0; r < sm.rows; ++r) {
+        for (std::size_t c = 0; c < sm.cols; ++c) {
+            int mag = 0;
+            for (std::size_t p = 0; p < sm.magnitude.size(); ++p) {
+                if (sm.magnitude[p].get(r, c))
+                    mag |= 1 << p;
+            }
+            w.at(r, c) = static_cast<std::int8_t>(
+                sm.sign.get(r, c) ? -mag : mag);
+        }
+    }
+    return w;
+}
+
+std::vector<std::int32_t>
+bitSerialGemv(const SignMagnitude &sm, const std::vector<std::int8_t> &x)
+{
+    fatalIf(x.size() != sm.cols, "bitSerialGemv shape mismatch");
+    std::vector<std::int32_t> y(sm.rows, 0);
+    for (std::size_t p = 0; p < sm.magnitude.size(); ++p) {
+        const BitPlane &plane = sm.magnitude[p];
+        const std::int32_t weight = 1 << p;
+        for (std::size_t r = 0; r < sm.rows; ++r) {
+            std::int32_t acc = 0;
+            for (std::size_t c = 0; c < sm.cols; ++c) {
+                if (!plane.get(r, c))
+                    continue;
+                const std::int32_t xv = x[c];
+                acc += sm.sign.get(r, c) ? -xv : xv;
+            }
+            y[r] += weight * acc;
+        }
+    }
+    return y;
+}
+
+SignSplit
+decomposeSignSplit(const Int8Matrix &w, quant::BitWidth bw)
+{
+    Int8Matrix pos(w.rows(), w.cols());
+    Int8Matrix neg(w.rows(), w.cols());
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        for (std::size_t c = 0; c < w.cols(); ++c) {
+            const int v = w.at(r, c);
+            pos.at(r, c) = static_cast<std::int8_t>(v > 0 ? v : 0);
+            neg.at(r, c) = static_cast<std::int8_t>(v < 0 ? -v : 0);
+        }
+    }
+    SignSplit out;
+    out.positive = decompose(pos, bw);
+    out.negative = decompose(neg, bw);
+    return out;
+}
+
+} // namespace mcbp::bitslice

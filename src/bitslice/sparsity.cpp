@@ -1,0 +1,158 @@
+#include "bitslice/sparsity.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bit_util.hpp"
+#include "common/logging.hpp"
+
+namespace mcbp::bitslice {
+
+SparsityReport
+analyzeSparsity(const Int8Matrix &w, quant::BitWidth bw)
+{
+    SparsityReport rep;
+    const double total = static_cast<double>(w.size());
+    std::size_t zeros = 0, nonneg = 0;
+    w.forEach([&](std::size_t, std::size_t, std::int8_t v) {
+        if (v == 0)
+            ++zeros;
+        if (v >= 0)
+            ++nonneg;
+    });
+    rep.valueSparsity = zeros / total;
+    rep.signSparsity = nonneg / total;
+
+    SignMagnitude sm = decompose(w, bw);
+    rep.planeSparsity.reserve(sm.magnitude.size());
+    double acc = 0.0;
+    for (const auto &plane : sm.magnitude) {
+        const double s = plane.sparsity();
+        rep.planeSparsity.push_back(s);
+        acc += s;
+    }
+    rep.meanBitSparsity =
+        sm.magnitude.empty() ? 1.0 : acc / static_cast<double>(
+                                               sm.magnitude.size());
+    return rep;
+}
+
+RepetitionReport
+measureRepetition(const BitPlane &plane, std::size_t m)
+{
+    fatalIf(m == 0 || m > 16, "group size must be in [1, 16]");
+    RepetitionReport rep;
+    std::vector<std::uint32_t> patterns;
+    std::vector<bool> seen(pow2(static_cast<unsigned>(m)), false);
+    for (std::size_t row0 = 0; row0 < plane.rows(); row0 += m) {
+        plane.columnPatterns(row0, m, patterns);
+        std::fill(seen.begin(), seen.end(), false);
+        for (std::uint32_t p : patterns) {
+            ++rep.totalColumns;
+            if (p == 0) {
+                ++rep.zeroColumns;
+            } else if (!seen[p]) {
+                seen[p] = true;
+                ++rep.distinctColumns;
+            }
+        }
+    }
+    return rep;
+}
+
+namespace {
+
+/** Hash key for a full-height bit column. */
+struct ColumnKey
+{
+    std::vector<std::uint64_t> words;
+    bool operator==(const ColumnKey &o) const { return words == o.words; }
+};
+
+struct ColumnKeyHash
+{
+    std::size_t
+    operator()(const ColumnKey &k) const
+    {
+        std::size_t h = 0xcbf29ce484222325ull;
+        for (auto w : k.words) {
+            h ^= w;
+            h *= 0x100000001b3ull;
+        }
+        return h;
+    }
+};
+
+} // namespace
+
+MergeCost
+compareMergeStrategies(const BitPlane &plane, std::size_t m)
+{
+    MergeCost cost;
+    // Dense bit-serial processes every bit; sparse skips zeros.
+    cost.denseAdds =
+        static_cast<std::uint64_t>(plane.rows()) * plane.cols();
+    cost.naiveAdds = plane.countOnes();
+
+    // Full-size merge: deduplicate full columns, then each distinct
+    // non-zero column contributes (its popcount) row-additions, plus one
+    // merge addition per duplicated occurrence.
+    {
+        std::unordered_map<ColumnKey, std::size_t, ColumnKeyHash> uniq;
+        std::uint64_t merge_adds = 0;
+        const std::size_t words = (plane.rows() + 63) / 64;
+        for (std::size_t c = 0; c < plane.cols(); ++c) {
+            ColumnKey key;
+            key.words.assign(words, 0);
+            std::uint64_t ones = 0;
+            for (std::size_t r = 0; r < plane.rows(); ++r) {
+                if (plane.get(r, c)) {
+                    key.words[r >> 6] |= std::uint64_t{1} << (r & 63);
+                    ++ones;
+                }
+            }
+            if (ones == 0)
+                continue;
+            auto [it, inserted] = uniq.try_emplace(std::move(key), ones);
+            if (!inserted)
+                ++merge_adds; // accumulate duplicate's activation
+        }
+        std::uint64_t recon_adds = 0;
+        for (const auto &kv : uniq)
+            recon_adds += kv.second; // distinct column feeds its rows
+        cost.fullMergeAdds = merge_adds + recon_adds;
+        // Dense-datapath variant: every distinct column costs all rows.
+        cost.fullMergeDenseAdds =
+            merge_adds + uniq.size() * plane.rows();
+    }
+
+    // Group-wise merge (BRCR): per m-row group, merging costs one addition
+    // per non-zero column beyond the first of its pattern; reconstruction
+    // adds each present pattern's popcount once.
+    {
+        fatalIf(m == 0 || m > 16, "group size must be in [1, 16]");
+        std::vector<std::uint32_t> patterns;
+        std::vector<std::uint32_t> count(pow2(static_cast<unsigned>(m)), 0);
+        std::uint64_t adds = 0;
+        for (std::size_t row0 = 0; row0 < plane.rows(); row0 += m) {
+            plane.columnPatterns(row0, m, patterns);
+            std::fill(count.begin(), count.end(), 0);
+            for (std::uint32_t p : patterns) {
+                if (p == 0)
+                    continue;
+                if (count[p] > 0)
+                    ++adds; // merge into existing MAV entry
+                ++count[p];
+            }
+            for (std::size_t p = 1; p < count.size(); ++p) {
+                if (count[p] > 0)
+                    adds += static_cast<std::uint64_t>(
+                        popcount64(p)); // reconstruction additions
+            }
+        }
+        cost.groupMergeAdds = adds;
+    }
+    return cost;
+}
+
+} // namespace mcbp::bitslice

@@ -1,0 +1,69 @@
+#include "brcr/cam.hpp"
+
+#include <bit>
+
+#include "common/bit_util.hpp"
+#include "common/logging.hpp"
+
+namespace mcbp::brcr {
+
+CamMatchUnit::CamMatchUnit(std::size_t m, std::size_t capacity)
+    : m_(m), halfBits_(m / 2), capacity_(capacity)
+{
+    fatalIf(m == 0 || m > 8 || (m % 2) != 0,
+            "CAM group size must be even and in [2, 8]");
+    fatalIf(capacity == 0, "CAM capacity must be positive");
+    bankHo_.assign(pow2(static_cast<unsigned>(halfBits_)),
+                   std::vector<std::uint64_t>(bitmapWords(), 0));
+    bankLo_.assign(pow2(static_cast<unsigned>(halfBits_)),
+                   std::vector<std::uint64_t>(bitmapWords(), 0));
+}
+
+void
+CamMatchUnit::load(const std::vector<std::uint32_t> &patterns)
+{
+    fatalIf(patterns.size() > capacity_, "CAM overflow");
+    for (auto &row : bankHo_)
+        std::fill(row.begin(), row.end(), 0);
+    for (auto &row : bankLo_)
+        std::fill(row.begin(), row.end(), 0);
+    const std::uint32_t half_mask =
+        static_cast<std::uint32_t>(pow2(
+            static_cast<unsigned>(halfBits_))) - 1;
+    for (std::size_t c = 0; c < patterns.size(); ++c) {
+        const std::uint32_t p = patterns[c];
+        panicIf(p >= pow2(static_cast<unsigned>(m_)),
+                "pattern wider than CAM key");
+        const std::uint32_t lo = p & half_mask;
+        const std::uint32_t ho = (p >> halfBits_) & half_mask;
+        bankHo_[ho][c >> 6] |= std::uint64_t{1} << (c & 63);
+        bankLo_[lo][c >> 6] |= std::uint64_t{1} << (c & 63);
+        ++stats_.loads;
+    }
+    loaded_ = patterns.size();
+}
+
+std::vector<std::uint64_t>
+CamMatchUnit::search(std::uint32_t key)
+{
+    panicIf(key >= pow2(static_cast<unsigned>(m_)),
+            "search key wider than CAM key");
+    if (key == 0) {
+        ++stats_.gatedSearches;
+        return std::vector<std::uint64_t>(bitmapWords(), 0);
+    }
+    ++stats_.searches;
+    const std::uint32_t half_mask =
+        static_cast<std::uint32_t>(pow2(
+            static_cast<unsigned>(halfBits_))) - 1;
+    const std::uint32_t lo = key & half_mask;
+    const std::uint32_t ho = (key >> halfBits_) & half_mask;
+    std::vector<std::uint64_t> bitmap(bitmapWords(), 0);
+    for (std::size_t w = 0; w < bitmap.size(); ++w) {
+        bitmap[w] = bankHo_[ho][w] & bankLo_[lo][w];
+        stats_.matches += std::popcount(bitmap[w]);
+    }
+    return bitmap;
+}
+
+} // namespace mcbp::brcr

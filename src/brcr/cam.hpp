@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Functional model of the CAM-based fast-match unit (paper section 4.3,
+ * Fig 14).
+ *
+ * The hardware stores each decompressed m-bit column pattern split into a
+ * higher-order (HO) and lower-order (LO) half. Each half indexes a bank
+ * with 2^(m/2) one-hot rows over the loaded columns; a search ANDs the HO
+ * row and LO row to produce the match bitmap in a single cycle. The
+ * controller enumerates all non-zero search keys (the all-zero key is
+ * clock-gated).
+ *
+ * This model reproduces that structure exactly (banks as bitmaps) so the
+ * cycle/energy accounting of the simulator can charge per-search costs,
+ * and so tests can verify bank-based matching equals direct comparison.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcbp::brcr {
+
+/** Search statistics for one CAM lifetime. */
+struct CamStats
+{
+    std::uint64_t loads = 0;        ///< Column patterns written.
+    std::uint64_t searches = 0;     ///< Search keys probed.
+    std::uint64_t gatedSearches = 0;///< Searches skipped by clock gating.
+    std::uint64_t matches = 0;      ///< Total matched columns returned.
+};
+
+/**
+ * CAM fast-match unit for group size m (even, <= 8) over up to
+ * @p capacity columns (hardware: 512 B CAM, 64 columns of 4-bit keys per
+ * PE in the paper's configuration).
+ */
+class CamMatchUnit
+{
+  public:
+    /**
+     * @param m group size in bits (pattern width); must be even and <= 8
+     *          (the hardware composes 2-bit basic blocks).
+     * @param capacity maximum number of columns held at once.
+     */
+    CamMatchUnit(std::size_t m, std::size_t capacity);
+
+    std::size_t groupSize() const { return m_; }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t loadedColumns() const { return loaded_; }
+
+    /**
+     * Load the given column patterns (address orchestration step). Any
+     * previous contents are replaced. Size must not exceed capacity.
+     */
+    void load(const std::vector<std::uint32_t> &patterns);
+
+    /**
+     * Search for @p key; returns a bitmap over loaded columns packed in
+     * 64-bit words (bit c set = column c matches). Searching the all-zero
+     * key returns an empty bitmap without touching the banks (clock
+     * gating), mirrored in the stats.
+     */
+    std::vector<std::uint64_t> search(std::uint32_t key);
+
+    const CamStats &stats() const { return stats_; }
+
+  private:
+    std::size_t bitmapWords() const { return (capacity_ + 63) / 64; }
+
+    std::size_t m_;
+    std::size_t halfBits_;
+    std::size_t capacity_;
+    std::size_t loaded_ = 0;
+    /** bankHo_[v] = bitmap of columns whose HO half equals v. */
+    std::vector<std::vector<std::uint64_t>> bankHo_;
+    /** bankLo_[v] = bitmap of columns whose LO half equals v. */
+    std::vector<std::vector<std::uint64_t>> bankLo_;
+    CamStats stats_;
+};
+
+} // namespace mcbp::brcr

@@ -1,0 +1,64 @@
+#include "brcr/cost_model.hpp"
+
+#include <cmath>
+
+#include "common/bit_util.hpp"
+#include "common/logging.hpp"
+
+namespace mcbp::brcr {
+
+double
+brcrAdds(const CostModelParams &p)
+{
+    fatalIf(p.groupSize == 0, "group size must be positive");
+    const double h = static_cast<double>(p.hidden);
+    const double m = static_cast<double>(p.groupSize);
+    const double recon =
+        h * static_cast<double>(pow2(
+                static_cast<unsigned>(p.groupSize - 1)));
+    return p.weightBits * (h * h / m * (1.0 - p.bitSparsity) + recon);
+}
+
+double
+naiveBscAdds(const CostModelParams &p)
+{
+    const double h = static_cast<double>(p.hidden);
+    return p.weightBits * h * h * (1.0 - p.bitSparsity);
+}
+
+double
+valueSparsityAdds(const CostModelParams &p)
+{
+    const double h = static_cast<double>(p.hidden);
+    return p.weightBits * h * h * (1.0 - p.valueSparsity);
+}
+
+double
+reductionVsBsc(const CostModelParams &p)
+{
+    return naiveBscAdds(p) / brcrAdds(p);
+}
+
+double
+reductionVsValue(const CostModelParams &p)
+{
+    return valueSparsityAdds(p) / brcrAdds(p);
+}
+
+double
+zeroColumnProbability(double bit_sparsity, std::size_t m)
+{
+    return std::pow(bit_sparsity, static_cast<double>(m));
+}
+
+double
+expectedDistinctPatterns(std::size_t h, std::size_t m)
+{
+    // Balls-into-bins: h columns into (2^m - 1) non-zero patterns.
+    const double bins =
+        static_cast<double>(pow2(static_cast<unsigned>(m))) - 1.0;
+    const double balls = static_cast<double>(h);
+    return bins * (1.0 - std::pow(1.0 - 1.0 / bins, balls));
+}
+
+} // namespace mcbp::brcr

@@ -1,0 +1,85 @@
+#include "brcr/enumeration.hpp"
+
+#include <unordered_map>
+
+#include "common/bit_util.hpp"
+#include "common/logging.hpp"
+
+namespace mcbp::brcr {
+
+GroupFactorization
+factorizeGroup(const bitslice::BitPlane &plane, std::size_t row0,
+               std::size_t m)
+{
+    fatalIf(m == 0 || m > 16, "group size must be in [1, 16]");
+    fatalIf(row0 >= plane.rows(), "group start row out of range");
+    GroupFactorization fact;
+    fact.m = m;
+    fact.columnIndex.assign(plane.cols(), -1);
+
+    std::vector<std::uint32_t> raw;
+    plane.columnPatterns(row0, m, raw);
+
+    std::unordered_map<std::uint32_t, std::int32_t> index_of;
+    for (std::size_t c = 0; c < raw.size(); ++c) {
+        const std::uint32_t p = raw[c];
+        if (p == 0)
+            continue;
+        auto [it, inserted] = index_of.try_emplace(
+            p, static_cast<std::int32_t>(fact.patterns.size()));
+        if (inserted)
+            fact.patterns.push_back(p);
+        fact.columnIndex[c] = it->second;
+    }
+    return fact;
+}
+
+MavResult
+mergeActivations(const GroupFactorization &fact,
+                 const std::vector<std::int8_t> &x)
+{
+    fatalIf(x.size() != fact.columnIndex.size(),
+            "activation length mismatch");
+    MavResult out;
+    out.z.assign(fact.patterns.size(), 0);
+    std::vector<bool> occupied(fact.patterns.size(), false);
+    for (std::size_t c = 0; c < x.size(); ++c) {
+        const std::int32_t d = fact.columnIndex[c];
+        if (d < 0)
+            continue;
+        if (occupied[d]) {
+            out.z[d] += x[c];
+            ++out.additions;
+        } else {
+            out.z[d] = x[c];
+            occupied[d] = true;
+        }
+    }
+    return out;
+}
+
+ReconResult
+reconstructOutputs(const GroupFactorization &fact, const MavResult &mav)
+{
+    panicIf(mav.z.size() != fact.patterns.size(), "MAV/pattern mismatch");
+    ReconResult out;
+    out.y.assign(fact.m, 0);
+    std::vector<bool> occupied(fact.m, false);
+    for (std::size_t d = 0; d < fact.patterns.size(); ++d) {
+        const std::uint32_t p = fact.patterns[d];
+        for (std::size_t i = 0; i < fact.m; ++i) {
+            if (!bitAt(p, static_cast<unsigned>(i)))
+                continue;
+            if (occupied[i]) {
+                out.y[i] += mav.z[d];
+                ++out.additions;
+            } else {
+                out.y[i] = mav.z[d];
+                occupied[i] = true;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace mcbp::brcr

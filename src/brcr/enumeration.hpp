@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Enumeration-matrix / index-matrix factorization of a grouped bit-slice
+ * matrix (paper Fig 4(c) and Fig 7).
+ *
+ * A group matrix G (m x H binary) with repeated column vectors factors as
+ *     G = E x I
+ * where E (m x d) stores the distinct non-zero column patterns and
+ * I (d x H) is a selection matrix mapping each original column to its
+ * pattern. Then G x X = E x (I x X): the inner product I x X merges the
+ * activations of repeated columns (the "merged activation vector"), and
+ * E x reconstructs the m outputs.
+ *
+ * This module is the explicit, matrix-form version used by tests and the
+ * worked paper examples; the production engine (brcr_engine) performs the
+ * same computation with bucketed accumulation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitslice/bit_plane.hpp"
+
+namespace mcbp::brcr {
+
+/** Result of factorizing one m-row group of a bit plane. */
+struct GroupFactorization
+{
+    std::size_t m = 0;                     ///< Group size (rows).
+    std::vector<std::uint32_t> patterns;   ///< Distinct non-zero patterns (E columns).
+    std::vector<std::int32_t> columnIndex; ///< Per input column: index into
+                                           ///< patterns, or -1 for all-zero.
+
+    /** Number of distinct non-zero patterns. */
+    std::size_t distinctCount() const { return patterns.size(); }
+};
+
+/** Factorize rows [row0, row0+m) of @p plane. */
+GroupFactorization factorizeGroup(const bitslice::BitPlane &plane,
+                                  std::size_t row0, std::size_t m);
+
+/**
+ * Merged activation vector Z = I x X for a factorized group: entry d
+ * accumulates the activations of every column mapped to pattern d.
+ * @returns Z plus the number of additions performed (an add is counted
+ * each time an activation lands on an already-occupied entry).
+ */
+struct MavResult
+{
+    std::vector<std::int64_t> z;
+    std::uint64_t additions = 0;
+};
+
+MavResult mergeActivations(const GroupFactorization &fact,
+                           const std::vector<std::int8_t> &x);
+
+/**
+ * Reconstruct the m group outputs Y = E x Z.
+ * @returns outputs plus the number of additions performed.
+ */
+struct ReconResult
+{
+    std::vector<std::int64_t> y;
+    std::uint64_t additions = 0;
+};
+
+ReconResult reconstructOutputs(const GroupFactorization &fact,
+                               const MavResult &mav);
+
+} // namespace mcbp::brcr

@@ -1,0 +1,60 @@
+#include "bstc/bitstream.hpp"
+
+#include "common/logging.hpp"
+
+namespace mcbp::bstc {
+
+void
+BitWriter::putBit(bool b)
+{
+    const std::size_t byte = static_cast<std::size_t>(bits_ >> 3);
+    if (byte >= data_.size())
+        data_.push_back(0);
+    if (b)
+        data_[byte] |= static_cast<std::uint8_t>(1u << (bits_ & 7));
+    ++bits_;
+}
+
+void
+BitWriter::putBits(std::uint32_t v, unsigned n)
+{
+    panicIf(n > 32, "putBits width > 32");
+    for (unsigned i = 0; i < n; ++i)
+        putBit((v >> i) & 1u);
+}
+
+BitReader::BitReader(const std::vector<std::uint8_t> &data,
+                     std::uint64_t bit_count)
+    : data_(data), bitCount_(bit_count)
+{
+    panicIf(bit_count > data.size() * 8, "bit count exceeds buffer");
+}
+
+bool
+BitReader::getBit()
+{
+    panicIf(pos_ >= bitCount_, "bit stream exhausted");
+    const bool b = (data_[static_cast<std::size_t>(pos_ >> 3)] >>
+                    (pos_ & 7)) & 1u;
+    ++pos_;
+    return b;
+}
+
+std::uint32_t
+BitReader::getBits(unsigned n)
+{
+    panicIf(n > 32, "getBits width > 32");
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < n; ++i)
+        v |= static_cast<std::uint32_t>(getBit()) << i;
+    return v;
+}
+
+void
+BitReader::seek(std::uint64_t bit_pos)
+{
+    panicIf(bit_pos > bitCount_, "seek past end of bit stream");
+    pos_ = bit_pos;
+}
+
+} // namespace mcbp::bstc

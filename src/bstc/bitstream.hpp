@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bit-granular stream writer/reader used by the BSTC codec. Bits are
+ * packed LSB-first into bytes; the reader consumes them in the same
+ * order, mirroring the serial-in behaviour of the hardware decoder's
+ * SIPO register (Fig 15b).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcbp::bstc {
+
+/** Append-only bit stream. */
+class BitWriter
+{
+  public:
+    /** Append a single bit. */
+    void putBit(bool b);
+
+    /** Append the low @p n bits of @p v, LSB first. @p n <= 32. */
+    void putBits(std::uint32_t v, unsigned n);
+
+    /** Number of bits written so far. */
+    std::uint64_t bitCount() const { return bits_; }
+
+    /** Backing bytes (last byte zero-padded). */
+    const std::vector<std::uint8_t> &bytes() const { return data_; }
+
+  private:
+    std::vector<std::uint8_t> data_;
+    std::uint64_t bits_ = 0;
+};
+
+/** Sequential reader over a bit stream. */
+class BitReader
+{
+  public:
+    BitReader(const std::vector<std::uint8_t> &data, std::uint64_t bit_count);
+
+    /** Read one bit; throws std::logic_error past the end. */
+    bool getBit();
+
+    /** Read @p n bits, LSB first. @p n <= 32. */
+    std::uint32_t getBits(unsigned n);
+
+    /** Bits remaining. */
+    std::uint64_t remaining() const { return bitCount_ - pos_; }
+
+    /** Absolute bit position (for segmented seeks). */
+    std::uint64_t position() const { return pos_; }
+
+    /** Jump to an absolute bit position. */
+    void seek(std::uint64_t bit_pos);
+
+  private:
+    const std::vector<std::uint8_t> &data_;
+    std::uint64_t bitCount_;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace mcbp::bstc

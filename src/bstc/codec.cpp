@@ -1,0 +1,102 @@
+#include "bstc/codec.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mcbp::bstc {
+
+CodecStats
+encodeGroup(const bitslice::BitPlane &plane, std::size_t row0,
+            std::size_t m, BitWriter &out)
+{
+    fatalIf(m == 0 || m > 16, "BSTC group size must be in [1, 16]");
+    CodecStats stats;
+    std::vector<std::uint32_t> patterns;
+    plane.columnPatterns(row0, m, patterns);
+    for (std::uint32_t p : patterns) {
+        if (p == 0) {
+            out.putBit(false);
+            ++stats.zeroSymbols;
+        } else {
+            out.putBit(true);
+            out.putBits(p, static_cast<unsigned>(m));
+            ++stats.nonZeroSymbols;
+        }
+    }
+    return stats;
+}
+
+CodecStats
+encodePlane(const bitslice::BitPlane &plane, std::size_t m, BitWriter &out)
+{
+    CodecStats stats;
+    for (std::size_t row0 = 0; row0 < plane.rows(); row0 += m) {
+        CodecStats s = encodeGroup(plane, row0, m, out);
+        stats.zeroSymbols += s.zeroSymbols;
+        stats.nonZeroSymbols += s.nonZeroSymbols;
+    }
+    return stats;
+}
+
+std::vector<std::uint32_t>
+decodeColumns(BitReader &in, std::size_t m, std::size_t num_columns,
+              CodecStats *stats)
+{
+    std::vector<std::uint32_t> out(num_columns, 0);
+    for (std::size_t c = 0; c < num_columns; ++c) {
+        if (in.getBit()) {
+            out[c] = in.getBits(static_cast<unsigned>(m));
+            if (stats)
+                ++stats->nonZeroSymbols;
+        } else {
+            if (stats)
+                ++stats->zeroSymbols;
+        }
+    }
+    return out;
+}
+
+bitslice::BitPlane
+decodePlane(BitReader &in, std::size_t m, std::size_t rows,
+            std::size_t cols, CodecStats *stats)
+{
+    bitslice::BitPlane plane(rows, cols);
+    for (std::size_t row0 = 0; row0 < rows; row0 += m) {
+        const std::size_t rows_here = std::min(m, rows - row0);
+        std::vector<std::uint32_t> patterns =
+            decodeColumns(in, m, cols, stats);
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::uint32_t p = patterns[c];
+            if (p == 0)
+                continue;
+            for (std::size_t i = 0; i < rows_here; ++i) {
+                if ((p >> i) & 1u)
+                    plane.set(row0 + i, c, true);
+            }
+        }
+    }
+    return plane;
+}
+
+double
+analyticCompressionRatio(double sr, std::size_t m)
+{
+    fatalIf(m == 0, "group size must be positive");
+    const double md = static_cast<double>(m);
+    const double p_zero = std::pow(sr, md);
+    return md / (p_zero + (1.0 - p_zero) * (md + 1.0));
+}
+
+double
+measuredCompressionRatio(const bitslice::BitPlane &plane, std::size_t m)
+{
+    BitWriter w;
+    encodePlane(plane, m, w);
+    const double original =
+        static_cast<double>(plane.rows()) * static_cast<double>(plane.cols());
+    return w.bitCount() == 0 ? 1.0
+                             : original / static_cast<double>(w.bitCount());
+}
+
+} // namespace mcbp::bstc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * BSTC two-state encoder / decoder (paper section 3.2, Fig 8a / Fig 15).
+ *
+ * Encoding unit: the m-bit column vector of a bit-slice plane (the same
+ * granularity as the BRCR group, so decompressed data feeds the CAM with
+ * no reordering). Two states:
+ *
+ *   all-zero column     -> 1'b0
+ *   non-zero column v   -> {1'b1, m bits of v}
+ *
+ * Lossless; the encoder is the 4-bit comparator + MUX of Fig 15(a), the
+ * decoder the 1-bit comparator + (m+1)-bit SIPO + leading-one eliminator
+ * of Fig 15(b). Both are modeled functionally with exact symbol-count
+ * accounting so the simulator can charge cycles (one symbol per cycle per
+ * lane).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitslice/bit_plane.hpp"
+#include "bstc/bitstream.hpp"
+
+namespace mcbp::bstc {
+
+/** Symbol statistics of one encode/decode pass. */
+struct CodecStats
+{
+    std::uint64_t zeroSymbols = 0;    ///< 1-bit '0' symbols.
+    std::uint64_t nonZeroSymbols = 0; ///< (m+1)-bit symbols.
+    std::uint64_t
+    totalSymbols() const
+    {
+        return zeroSymbols + nonZeroSymbols;
+    }
+};
+
+/**
+ * Encode one m-row group of @p plane (rows [row0, row0+m)) into @p out.
+ * Columns are emitted in order; each becomes one symbol.
+ */
+CodecStats encodeGroup(const bitslice::BitPlane &plane, std::size_t row0,
+                       std::size_t m, BitWriter &out);
+
+/**
+ * Encode a whole plane group-by-group (row groups of @p m).
+ * @returns aggregate symbol stats.
+ */
+CodecStats encodePlane(const bitslice::BitPlane &plane, std::size_t m,
+                       BitWriter &out);
+
+/**
+ * Decode @p num_columns symbols of group width @p m from @p in, returning
+ * the column patterns (low m bits each).
+ */
+std::vector<std::uint32_t> decodeColumns(BitReader &in, std::size_t m,
+                                         std::size_t num_columns,
+                                         CodecStats *stats = nullptr);
+
+/**
+ * Decode a full plane previously produced by encodePlane().
+ * @param rows total plane rows (must equal the encoder's).
+ */
+bitslice::BitPlane decodePlane(BitReader &in, std::size_t m,
+                               std::size_t rows, std::size_t cols,
+                               CodecStats *stats = nullptr);
+
+/**
+ * Analytic compression ratio of BSTC for i.i.d. plane bits of sparsity
+ * @p sr and group size @p m (Fig 8b):
+ *     CR(m) = m / (sr^m * 1 + (1 - sr^m) * (m + 1)).
+ */
+double analyticCompressionRatio(double sr, std::size_t m);
+
+/** Measured compression ratio: original bits / encoded bits. */
+double measuredCompressionRatio(const bitslice::BitPlane &plane,
+                                std::size_t m);
+
+} // namespace mcbp::bstc

@@ -1,0 +1,45 @@
+#include "bstc/plane_policy.hpp"
+
+#include "common/logging.hpp"
+
+namespace mcbp::bstc {
+
+std::size_t
+PlanePolicy::compressedCount() const
+{
+    std::size_t n = 0;
+    for (bool b : compress)
+        if (b)
+            ++n;
+    return n;
+}
+
+PlanePolicy
+paperDefaultPolicy(std::size_t plane_count)
+{
+    PlanePolicy policy;
+    policy.compress.assign(plane_count, false);
+    if (plane_count >= 7) {
+        // INT8: compress planes 3..7 (indices 2..6).
+        for (std::size_t p = 2; p < 7; ++p)
+            policy.compress[p] = true;
+    } else if (plane_count >= 3) {
+        // INT4: only the MSB magnitude plane is sparse enough.
+        policy.compress[plane_count - 1] = true;
+    }
+    return policy;
+}
+
+PlanePolicy
+adaptivePolicy(const bitslice::SparsityReport &report, double threshold)
+{
+    fatalIf(threshold <= 0.0 || threshold >= 1.0,
+            "sparsity threshold must be in (0, 1)");
+    PlanePolicy policy;
+    policy.compress.reserve(report.planeSparsity.size());
+    for (double sr : report.planeSparsity)
+        policy.compress.push_back(sr > threshold);
+    return policy;
+}
+
+} // namespace mcbp::bstc

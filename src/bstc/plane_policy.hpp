@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Per-bit-plane compression policy (paper section 3.2, Fig 8c).
+ *
+ * BSTC only pays off when a plane's sparsity ratio exceeds ~65% (the
+ * break-even of the two-state code). The paper compresses magnitude
+ * planes 3-7 of INT8 weights and leaves planes 1, 2 and the sign plane
+ * raw. This module derives that decision either from the fixed paper
+ * default or adaptively from measured plane sparsity.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bitslice/sparsity.hpp"
+
+namespace mcbp::bstc {
+
+/** Break-even sparsity for the two-state code (paper: 65%). */
+inline constexpr double kDefaultSparsityThreshold = 0.65;
+
+/** Which planes of a decomposition get BSTC-encoded. */
+struct PlanePolicy
+{
+    /** compress[p] = encode magnitude plane p+1 (index 0 = LSB plane). */
+    std::vector<bool> compress;
+    /** The sign plane is always stored raw in the paper's design. */
+    bool compressSign = false;
+
+    /** Number of planes marked for compression. */
+    std::size_t compressedCount() const;
+};
+
+/**
+ * The paper's fixed INT8 policy: planes 3-7 compressed, planes 1-2 raw.
+ * For INT4 (3 magnitude planes) only plane 3 (MSB) is compressed.
+ */
+PlanePolicy paperDefaultPolicy(std::size_t plane_count);
+
+/**
+ * Adaptive policy: compress every plane whose measured sparsity exceeds
+ * @p threshold.
+ */
+PlanePolicy adaptivePolicy(const bitslice::SparsityReport &report,
+                           double threshold = kDefaultSparsityThreshold);
+
+} // namespace mcbp::bstc

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Value-level compression baselines (EIE / Deep-Compression style) that
+ * the paper's ablation baseline and FuseKNA comparisons assume: a
+ * zero-run-length code and a canonical Huffman code over INT8 values.
+ *
+ * These exist to ground the "value-level compression achieves only ~30%
+ * of the bit-level sparsity benefit" claim (Fig 5(c), section 2.3) in a
+ * real codec rather than an assumed ratio: the benches measure the
+ * actual compressed size of the same weights BSTC compresses.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bstc/bitstream.hpp"
+#include "common/matrix.hpp"
+
+namespace mcbp::bstc {
+
+/** A compressed value-level weight blob. */
+struct ValueCompressed
+{
+    std::vector<std::uint8_t> data;
+    std::uint64_t bitCount = 0;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+};
+
+/**
+ * Zero-run-length coding: each symbol is {1'b0, 4-bit run length} for a
+ * run of up to 16 zeros, or {1'b1, 8-bit value} for a non-zero value.
+ * Lossless for any INT8 matrix.
+ */
+ValueCompressed rleEncode(const Int8Matrix &w);
+
+/** Inverse of rleEncode (exact). */
+Int8Matrix rleDecode(const ValueCompressed &blob);
+
+/**
+ * Canonical Huffman coding over the INT8 value alphabet, with the code
+ * table (canonical lengths) stored in the blob. Lossless.
+ */
+ValueCompressed huffmanEncode(const Int8Matrix &w);
+
+/** Inverse of huffmanEncode (exact). */
+Int8Matrix huffmanDecode(const ValueCompressed &blob);
+
+/** Compression ratio of a blob: 8 * rows * cols / bitCount. */
+double valueCompressionRatio(const ValueCompressed &blob);
+
+} // namespace mcbp::bstc

@@ -1,0 +1,25 @@
+#include "common/bit_util.hpp"
+
+namespace mcbp {
+
+std::size_t
+ipow(std::size_t b, unsigned e)
+{
+    std::size_t r = 1;
+    while (e--)
+        r *= b;
+    return r;
+}
+
+std::string
+toBinary(std::uint64_t v, unsigned width)
+{
+    std::string s(width, '0');
+    for (unsigned i = 0; i < width; ++i) {
+        if (bitAt(v, width - 1 - i))
+            s[i] = '1';
+    }
+    return s;
+}
+
+} // namespace mcbp

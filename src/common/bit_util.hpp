@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the bit-slice, BRCR and BSTC
+ * layers.
+ */
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace mcbp {
+
+/** Number of set bits in @p v. */
+inline int
+popcount64(std::uint64_t v)
+{
+    return std::popcount(v);
+}
+
+/** Extract bit @p pos (0 = LSB) of @p v. */
+inline unsigned
+bitAt(std::uint64_t v, unsigned pos)
+{
+    return static_cast<unsigned>((v >> pos) & 1u);
+}
+
+/** Ceiling division of two non-negative integers. */
+inline std::size_t
+ceilDiv(std::size_t a, std::size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** 2^e for small e, as size_t. */
+inline std::size_t
+pow2(unsigned e)
+{
+    return std::size_t{1} << e;
+}
+
+/** Integer power b^e (small arguments). */
+std::size_t ipow(std::size_t b, unsigned e);
+
+/**
+ * Render the low @p width bits of @p v as a binary string, MSB first.
+ * Used for debugging and the worked paper examples.
+ */
+std::string toBinary(std::uint64_t v, unsigned width);
+
+/** Magnitude of an int8 in sign-magnitude encoding (|-128| clamps to 127). */
+inline std::uint8_t
+int8Magnitude(std::int8_t v)
+{
+    int m = v < 0 ? -static_cast<int>(v) : static_cast<int>(v);
+    if (m > 127)
+        m = 127;
+    return static_cast<std::uint8_t>(m);
+}
+
+} // namespace mcbp

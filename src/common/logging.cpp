@@ -1,0 +1,17 @@
+#include "common/logging.hpp"
+
+namespace mcbp {
+
+void
+fatal(const std::string &msg)
+{
+    throw std::runtime_error("mcbp fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw std::logic_error("mcbp panic: " + msg);
+}
+
+} // namespace mcbp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Dense row-major matrix container used throughout the MCBP library.
+ *
+ * A deliberately small, allocation-owning container: the reproduction deals
+ * with INT8 weight matrices, INT32 accumulators and FP32 references, so a
+ * single templated type with bounds-checked access in debug builds is all
+ * that is needed. No expression templates, no views with lifetimes to track.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace mcbp {
+
+/**
+ * Row-major dense matrix.
+ *
+ * @tparam T element type (int8_t, int32_t, float, ...).
+ */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Create a rows x cols matrix, zero-initialized. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, T{})
+    {
+    }
+
+    /** Create a rows x cols matrix filled with @p init. */
+    Matrix(std::size_t rows, std::size_t cols, T init)
+        : rows_(rows), cols_(cols), data_(rows * cols, init)
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    T &
+    at(std::size_t r, std::size_t c)
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    const T &
+    at(std::size_t r, std::size_t c) const
+    {
+        assert(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    T &operator()(std::size_t r, std::size_t c) { return at(r, c); }
+    const T &operator()(std::size_t r, std::size_t c) const { return at(r, c); }
+
+    /** Pointer to the start of row @p r. */
+    T *rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+    const T *rowPtr(std::size_t r) const { return data_.data() + r * cols_; }
+
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+
+    /** Apply @p fn to every element. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t r = 0; r < rows_; ++r)
+            for (std::size_t c = 0; c < cols_; ++c)
+                fn(r, c, at(r, c));
+    }
+
+    /** Fill every element from a generator fn(r, c) -> T. */
+    template <typename Fn>
+    void
+    fill(Fn &&fn)
+    {
+        for (std::size_t r = 0; r < rows_; ++r)
+            for (std::size_t c = 0; c < cols_; ++c)
+                at(r, c) = fn(r, c);
+    }
+
+    bool
+    operator==(const Matrix &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_ &&
+               data_ == other.data_;
+    }
+
+    bool operator!=(const Matrix &other) const { return !(*this == other); }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+using Int8Matrix = Matrix<std::int8_t>;
+using Int32Matrix = Matrix<std::int32_t>;
+using FloatMatrix = Matrix<float>;
+
+} // namespace mcbp

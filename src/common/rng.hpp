@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic random number generation for the MCBP reproduction.
+ *
+ * Every stochastic component (synthetic weights, activations, attention
+ * skew) draws from an explicitly seeded Rng so that all benchmark tables are
+ * reproducible run-to-run and across platforms. The core generator is
+ * xoshiro256** seeded through SplitMix64, which is portable (unlike
+ * std::normal_distribution, whose output is implementation-defined).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcbp {
+
+/** Portable, explicitly-seeded pseudo-random generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal via Box-Muller (portable across stdlibs). */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool bernoulli(double p);
+
+    /**
+     * Draw from a Zipf-like distribution over [0, n) with exponent @p s.
+     * Used to synthesize attention-score concentration (a few keys receive
+     * most of the attention mass, as observed in LLMs).
+     */
+    std::size_t zipf(std::size_t n, double s);
+
+    /** Split off an independent child generator (stable derivation). */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace mcbp

@@ -1,0 +1,80 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace mcbp {
+
+void
+StatRegistry::add(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+std::uint64_t
+StatRegistry::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return counters_.find(name) != counters_.end();
+}
+
+void
+StatRegistry::clear()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+void
+StatRegistry::merge(const StatRegistry &other)
+{
+    for (const auto &kv : other.counters_)
+        counters_[kv.first] += kv.second;
+}
+
+std::vector<std::string>
+StatRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::string
+StatRegistry::toString() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << kv.first << " = " << kv.second << "\n";
+    return os.str();
+}
+
+void
+RunningStat::observe(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+} // namespace mcbp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Lightweight statistics counters used by the functional engines and the
+ * cycle-level simulator to account for operations, bytes and cycles.
+ *
+ * Counters are plain named uint64 accumulators grouped in a registry; the
+ * benchmark harness prints them as the rows of the paper's tables. No
+ * global state: each engine owns its registry.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcbp {
+
+/** A named group of monotonically increasing counters. */
+class StatRegistry
+{
+  public:
+    /** Add @p delta to counter @p name (creates it at zero first). */
+    void add(const std::string &name, std::uint64_t delta);
+
+    /** Increment counter @p name by one. */
+    void inc(const std::string &name) { add(name, 1); }
+
+    /** Current value (zero if never touched). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** True if the counter has been created. */
+    bool has(const std::string &name) const;
+
+    /** Reset all counters to zero (keeps names). */
+    void clear();
+
+    /** Merge another registry into this one (summing counters). */
+    void merge(const StatRegistry &other);
+
+    /** Stable (sorted) list of counter names. */
+    std::vector<std::string> names() const;
+
+    /** Render as "name = value" lines, for logs and debugging. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/**
+ * Simple accumulator for a stream of doubles: count / sum / min / max /
+ * mean. Used for latency distributions and sparsity samples.
+ */
+class RunningStat
+{
+  public:
+    void observe(double v);
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double mean() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace mcbp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Console table and CSV emitters used by the benchmark harness to print
+ * the paper's tables and figure series in a readable, diffable form.
+ */
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcbp {
+
+/**
+ * Accumulates rows of strings and prints them column-aligned.
+ *
+ * Typical use in a bench binary:
+ * @code
+ *   Table t({"Model", "Speedup", "Energy"});
+ *   t.addRow({"Llama7B", fmt(8.7), fmt(31.1)});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render with padded columns and a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no padding). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals fraction digits. */
+std::string fmt(double v, int decimals = 2);
+
+/** Format a value as a percentage string, e.g. 0.724 -> "72.4%". */
+std::string fmtPct(double fraction, int decimals = 1);
+
+/** Format with an 'x' multiplier suffix, e.g. 5.1 -> "5.1x". */
+std::string fmtX(double v, int decimals = 2);
+
+} // namespace mcbp

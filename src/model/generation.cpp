@@ -1,0 +1,109 @@
+#include "model/generation.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace mcbp::model {
+
+namespace {
+
+/** Cosine similarity between two equal-length rows. */
+double
+rowCosine(const float *a, const float *b, std::size_t n)
+{
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        dot += static_cast<double>(a[i]) * b[i];
+        na += static_cast<double>(a[i]) * a[i];
+        nb += static_cast<double>(b[i]) * b[i];
+    }
+    if (na == 0.0 || nb == 0.0)
+        return 1.0;
+    return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+/** L2-normalize a row in place (keeps rollouts bounded). */
+void
+normalizeRow(float *row, std::size_t n)
+{
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        norm2 += static_cast<double>(row[i]) * row[i];
+    const double inv =
+        norm2 > 0.0 ? std::sqrt(static_cast<double>(n) / norm2) : 1.0;
+    for (std::size_t i = 0; i < n; ++i)
+        row[i] = static_cast<float>(row[i] * inv);
+}
+
+} // namespace
+
+TinyLlm::TinyLlm(const GenerationConfig &cfg) : cfg_(cfg)
+{
+    fatalIf(cfg_.layers == 0 || cfg_.decodeLen == 0 ||
+                cfg_.promptLen == 0,
+            "degenerate generation configuration");
+    Rng rng(cfg_.seed);
+    layers_.reserve(cfg_.layers);
+    for (std::size_t l = 0; l < cfg_.layers; ++l) {
+        layers_.emplace_back(randomLayer(rng, cfg_.hidden, cfg_.heads,
+                                         cfg_.ffn, cfg_.weights));
+    }
+    prompt_ = gaussianActivations(rng, cfg_.promptLen, cfg_.hidden, 1.0);
+}
+
+FloatMatrix
+TinyLlm::forwardStack(const FloatMatrix &x,
+                      const KeySelector *selector) const
+{
+    FloatMatrix h = x;
+    for (const TransformerLayer &layer : layers_) {
+        h = selector ? layer.forwardPruned(h, *selector)
+                     : layer.forwardF32(h);
+    }
+    return h;
+}
+
+FloatMatrix
+TinyLlm::rollout(const KeySelector *selector) const
+{
+    FloatMatrix seq = prompt_;
+    FloatMatrix generated(cfg_.decodeLen, cfg_.hidden);
+    for (std::size_t step = 0; step < cfg_.decodeLen; ++step) {
+        FloatMatrix out = forwardStack(seq, selector);
+        // The last position's state becomes the next "token".
+        FloatMatrix grown(seq.rows() + 1, cfg_.hidden);
+        for (std::size_t r = 0; r < seq.rows(); ++r)
+            for (std::size_t c = 0; c < cfg_.hidden; ++c)
+                grown.at(r, c) = seq.at(r, c);
+        for (std::size_t c = 0; c < cfg_.hidden; ++c)
+            grown.at(seq.rows(), c) = out.at(seq.rows() - 1, c);
+        normalizeRow(grown.rowPtr(seq.rows()), cfg_.hidden);
+        for (std::size_t c = 0; c < cfg_.hidden; ++c)
+            generated.at(step, c) = grown.at(seq.rows(), c);
+        seq = std::move(grown);
+    }
+    return generated;
+}
+
+GenerationResult
+TinyLlm::compareRollout(const KeySelector &selector) const
+{
+    FloatMatrix ref = rollout(nullptr);
+    FloatMatrix test = rollout(&selector);
+    GenerationResult res;
+    res.stepCosine.reserve(cfg_.decodeLen);
+    double sum = 0.0;
+    for (std::size_t s = 0; s < cfg_.decodeLen; ++s) {
+        const double c =
+            rowCosine(ref.rowPtr(s), test.rowPtr(s), cfg_.hidden);
+        res.stepCosine.push_back(c);
+        sum += c;
+        res.minCosine = std::min(res.minCosine, c);
+    }
+    res.meanCosine = sum / static_cast<double>(cfg_.decodeLen);
+    return res;
+}
+
+} // namespace mcbp::model

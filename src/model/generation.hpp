@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Autoregressive generation fidelity harness.
+ *
+ * The paper's accuracy claims (Table 2, Fig 24a) hinge on generation
+ * tasks being more sensitive to attention pruning than classification:
+ * decode errors feed back into later steps. This harness builds a small
+ * multi-layer transformer, rolls it out autoregressively (each step
+ * appends the last output state as the next input), and compares the
+ * FP32 trajectory against an INT8 + pruned-attention trajectory, token
+ * by token — quantifying error accumulation that single-block fidelity
+ * cannot see.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/transformer.hpp"
+
+namespace mcbp::model {
+
+/** Configuration of the rollout experiment. */
+struct GenerationConfig
+{
+    std::size_t layers = 2;
+    std::size_t hidden = 64;
+    std::size_t heads = 4;
+    std::size_t ffn = 128;
+    std::size_t promptLen = 16;
+    std::size_t decodeLen = 12;
+    WeightProfile weights{0.08, 0.001, 16.0};
+    std::uint64_t seed = 1;
+};
+
+/** Result of comparing a pruned rollout against the FP32 reference. */
+struct GenerationResult
+{
+    /** Cosine similarity of each generated step's state vs reference. */
+    std::vector<double> stepCosine;
+    /** Mean over steps (the headline fidelity number). */
+    double meanCosine = 0.0;
+    /** Worst step (error accumulation shows up here). */
+    double minCosine = 1.0;
+};
+
+/** A small multi-layer decoder-only model for rollout experiments. */
+class TinyLlm
+{
+  public:
+    explicit TinyLlm(const GenerationConfig &cfg);
+
+    const GenerationConfig &config() const { return cfg_; }
+
+    /**
+     * Roll out @p decode_len steps from a random prompt, executing the
+     * full stack per step. @p selector (nullable) enables INT8 +
+     * pruned-attention execution; null runs the FP32 reference.
+     * @returns the sequence of generated hidden states (decodeLen x H).
+     */
+    FloatMatrix rollout(const KeySelector *selector) const;
+
+    /** Compare a pruned rollout against the FP32 reference rollout. */
+    GenerationResult compareRollout(const KeySelector &selector) const;
+
+  private:
+    /** One full-stack forward over the whole current sequence. */
+    FloatMatrix forwardStack(const FloatMatrix &x,
+                             const KeySelector *selector) const;
+
+    GenerationConfig cfg_;
+    std::vector<TransformerLayer> layers_;
+    FloatMatrix prompt_;
+};
+
+} // namespace mcbp::model

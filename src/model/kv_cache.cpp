@@ -1,0 +1,56 @@
+#include "model/kv_cache.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace mcbp::model {
+
+KvCache::KvCache(std::size_t head_dim)
+    : headDim_(head_dim), keys_(0, head_dim), values_(0, head_dim)
+{
+    fatalIf(head_dim == 0, "head dimension must be positive");
+}
+
+void
+KvCache::append(const std::vector<std::int8_t> &k,
+                const std::vector<std::int8_t> &v)
+{
+    fatalIf(k.size() != headDim_ || v.size() != headDim_,
+            "KV row width mismatch");
+    // Keep the public matrices exactly length_ rows: re-materialize on
+    // growth. Decode appends one row per step over thousands of reads, so
+    // the copy cost is acceptable for a functional model.
+    Int8Matrix grown_k(length_ + 1, headDim_);
+    Int8Matrix grown_v(length_ + 1, headDim_);
+    for (std::size_t r = 0; r < length_; ++r) {
+        std::copy(keys_.rowPtr(r), keys_.rowPtr(r) + headDim_,
+                  grown_k.rowPtr(r));
+        std::copy(values_.rowPtr(r), values_.rowPtr(r) + headDim_,
+                  grown_v.rowPtr(r));
+    }
+    std::copy(k.begin(), k.end(), grown_k.rowPtr(length_));
+    std::copy(v.begin(), v.end(), grown_v.rowPtr(length_));
+    keys_ = std::move(grown_k);
+    values_ = std::move(grown_v);
+    ++length_;
+    bytesWritten_ += 2 * headDim_;
+}
+
+const std::int8_t *
+KvCache::readKey(std::size_t idx) const
+{
+    fatalIf(idx >= length_, "key index out of range");
+    bytesRead_ += headDim_;
+    return keys_.rowPtr(idx);
+}
+
+const std::int8_t *
+KvCache::readValue(std::size_t idx) const
+{
+    fatalIf(idx >= length_, "value index out of range");
+    bytesRead_ += headDim_;
+    return values_.rowPtr(idx);
+}
+
+} // namespace mcbp::model

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * INT8 KV cache with byte accounting (decoding-stage substrate).
+ *
+ * Stores one layer-head's K and V rows token by token and serves both the
+ * full rows (formal compute) and selective reads by key index (post-BGPP
+ * sparse attention), tracking the bytes each access pattern touches so
+ * the simulator can charge HBM traffic.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace mcbp::model {
+
+/** Per-head KV cache. */
+class KvCache
+{
+  public:
+    explicit KvCache(std::size_t head_dim);
+
+    std::size_t headDim() const { return headDim_; }
+    std::size_t length() const { return length_; }
+
+    /** Append one token's key and value rows (each headDim wide). */
+    void append(const std::vector<std::int8_t> &k,
+                const std::vector<std::int8_t> &v);
+
+    /** All keys as an S x d matrix view copy (prediction input). */
+    const Int8Matrix &keys() const { return keys_; }
+    const Int8Matrix &values() const { return values_; }
+
+    /** Key row @p idx; counts a full-row read. */
+    const std::int8_t *readKey(std::size_t idx) const;
+    /** Value row @p idx; counts a full-row read. */
+    const std::int8_t *readValue(std::size_t idx) const;
+
+    /** Bytes read through readKey/readValue so far. */
+    std::uint64_t bytesRead() const { return bytesRead_; }
+    /** Bytes appended so far. */
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+
+  private:
+    std::size_t headDim_;
+    std::size_t length_ = 0;
+    Int8Matrix keys_;
+    Int8Matrix values_;
+    mutable std::uint64_t bytesRead_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+};
+
+} // namespace mcbp::model

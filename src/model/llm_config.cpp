@@ -1,0 +1,92 @@
+#include "model/llm_config.hpp"
+
+#include "common/logging.hpp"
+
+namespace mcbp::model {
+
+std::uint64_t
+LlmConfig::paramsPerLayer() const
+{
+    // QKV + output projections, plus the FFN matrices.
+    const std::uint64_t attn = 4ull * hidden * hidden;
+    const std::uint64_t mlp =
+        static_cast<std::uint64_t>(ffnMatrices) * hidden * ffn;
+    return attn + mlp;
+}
+
+std::uint64_t
+LlmConfig::totalParams() const
+{
+    return paramsPerLayer() * layers;
+}
+
+std::uint64_t
+LlmConfig::prefillMacs(std::size_t s) const
+{
+    // Linear layers process all S tokens; attention is quadratic.
+    const std::uint64_t linear = paramsPerLayer() * s;
+    const std::uint64_t attn = prefillAttentionMacs(s) / layers;
+    return (linear + attn) * layers;
+}
+
+std::uint64_t
+LlmConfig::prefillAttentionMacs(std::size_t s) const
+{
+    // QK^T and PV are each S^2 x headDim per head = S^2 x H per layer;
+    // causal masking halves the effective work.
+    const std::uint64_t per_layer =
+        static_cast<std::uint64_t>(s) * s * hidden; // QK^T + PV halves sum
+    return per_layer * layers;
+}
+
+std::uint64_t
+LlmConfig::decodeMacsPerToken(std::size_t s_ctx) const
+{
+    const std::uint64_t linear = paramsPerLayer();
+    const std::uint64_t attn =
+        2ull * s_ctx * hidden; // q.K^T and p.V over the cache
+    return (linear + attn) * layers;
+}
+
+std::uint64_t
+LlmConfig::weightBytes() const
+{
+    return totalParams(); // INT8: one byte per parameter.
+}
+
+std::uint64_t
+LlmConfig::kvBytesPerToken() const
+{
+    return 2ull * hidden * layers; // INT8 K and V rows per layer.
+}
+
+std::uint64_t
+LlmConfig::kvReadBytesPerToken(std::size_t s_ctx) const
+{
+    return 2ull * hidden * layers * s_ctx;
+}
+
+const std::vector<LlmConfig> &
+modelZoo()
+{
+    static const std::vector<LlmConfig> zoo = {
+        {"OPT1B3", 2048, 24, 32, 8192, 2, 14.0},
+        {"Bloom1B7", 2048, 24, 16, 8192, 2, 14.0},
+        {"Qwen7B", 4096, 32, 32, 11008, 3, 17.0},
+        {"Llama7B", 4096, 32, 32, 11008, 3, 16.0},
+        {"Llama13B", 5120, 40, 40, 13824, 3, 16.0},
+    };
+    return zoo;
+}
+
+const LlmConfig &
+findModel(const std::string &name)
+{
+    for (const auto &m : modelZoo()) {
+        if (m.name == name)
+            return m;
+    }
+    fatal("unknown model: " + name);
+}
+
+} // namespace mcbp::model

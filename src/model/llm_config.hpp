@@ -1,0 +1,67 @@
+/**
+ * @file
+ * LLM architecture configurations and per-stage operation/traffic
+ * accounting for the five models in the paper's evaluation (section 5.1):
+ * Llama7B, Llama13B, OPT1B3, Bloom1B7, Qwen7B.
+ *
+ * The accounting methods return *logical* quantities (MACs, weight bytes,
+ * KV bytes) for prefill and decoding; the accelerator models convert them
+ * into cycles/energy under each design's optimizations.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcbp::model {
+
+/** Decoder-only transformer architecture description. */
+struct LlmConfig
+{
+    std::string name;
+    std::size_t hidden = 0;     ///< H.
+    std::size_t layers = 0;     ///< Decoder blocks.
+    std::size_t heads = 0;      ///< Attention heads.
+    std::size_t ffn = 0;        ///< FFN inner dimension.
+    std::size_t ffnMatrices = 2;///< 2 = GELU MLP, 3 = gated (Llama/Qwen).
+    /**
+     * Weight-distribution dynamic range (channel max / sigma) used by the
+     * synthetic generator; larger values mean more outliers, higher bit
+     * sparsity and more value zeros. Calibrated per model family so the
+     * sparsity figures land near the paper's (Fig 5(d), Fig 8(c)).
+     */
+    double dynamicRange = 16.0;
+
+    std::size_t headDim() const { return hidden / heads; }
+
+    /** Total weight parameters (attention + FFN), per layer and total. */
+    std::uint64_t paramsPerLayer() const;
+    std::uint64_t totalParams() const;
+
+    /** MACs for prefilling a prompt of @p s tokens (all layers). */
+    std::uint64_t prefillMacs(std::size_t s) const;
+
+    /** MACs for decoding one token with a KV context of @p s_ctx. */
+    std::uint64_t decodeMacsPerToken(std::size_t s_ctx) const;
+
+    /** Attention-only MACs for prefill (the S^2 part). */
+    std::uint64_t prefillAttentionMacs(std::size_t s) const;
+
+    /** Weight bytes (INT8, uncompressed) read for one full pass. */
+    std::uint64_t weightBytes() const;
+
+    /** KV-cache bytes appended per token (INT8 K + V, all layers). */
+    std::uint64_t kvBytesPerToken() const;
+
+    /** KV-cache bytes read to decode one token over context @p s_ctx. */
+    std::uint64_t kvReadBytesPerToken(std::size_t s_ctx) const;
+};
+
+/** The paper's five-model zoo. */
+const std::vector<LlmConfig> &modelZoo();
+
+/** Look up a zoo model by name; fatal() on unknown names. */
+const LlmConfig &findModel(const std::string &name);
+
+} // namespace mcbp::model

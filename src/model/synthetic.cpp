@@ -1,0 +1,129 @@
+#include "model/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mcbp::model {
+
+FloatMatrix
+gaussianWeights(Rng &rng, std::size_t rows, std::size_t cols,
+                const WeightProfile &profile)
+{
+    fatalIf(profile.sigma <= 0.0, "weight sigma must be positive");
+    FloatMatrix w(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            double v = rng.gaussian(0.0, profile.sigma);
+            if (rng.bernoulli(profile.outlierFraction)) {
+                const double mag = profile.dynamicRange *
+                                   profile.sigma *
+                                   rng.uniform(0.8, 1.2);
+                v = rng.bernoulli(0.5) ? mag : -mag;
+            }
+            w.at(r, c) = static_cast<float>(v);
+        }
+    }
+    return w;
+}
+
+quant::QuantizedWeight
+synthesizeQuantizedWeight(Rng &rng, std::size_t rows, std::size_t cols,
+                          quant::BitWidth bw, const WeightProfile &profile)
+{
+    return quant::quantizeWeight(gaussianWeights(rng, rows, cols, profile),
+                                 bw);
+}
+
+FloatMatrix
+gaussianActivations(Rng &rng, std::size_t rows, std::size_t cols,
+                    double sigma, double mean)
+{
+    FloatMatrix x(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            x.at(r, c) = static_cast<float>(rng.gaussian(mean, sigma));
+    return x;
+}
+
+AttentionSet
+synthesizeAttention(Rng &rng, std::size_t s, std::size_t d,
+                    double concentration)
+{
+    fatalIf(s == 0 || d == 0, "attention set must be non-empty");
+    fatalIf(concentration <= 0.0 || concentration > 1.0,
+            "concentration must be in (0, 1]");
+
+    // Float query.
+    std::vector<double> qf(d);
+    double qnorm2 = 0.0;
+    for (auto &v : qf) {
+        v = rng.gaussian();
+        qnorm2 += v * v;
+    }
+    fatalIf(qnorm2 == 0.0, "degenerate query");
+
+    // Target logits: a concentrated subset sits near the max, the rest
+    // falls well below the softmax radius.
+    const std::size_t vital =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     concentration * static_cast<double>(s)));
+    std::vector<double> logits(s);
+    for (std::size_t j = 0; j < s; ++j) {
+        if (j < vital) {
+            logits[j] = -rng.uniform(0.0, 1.5); // near the max (0).
+        } else {
+            logits[j] = -5.0 - std::abs(rng.gaussian(0.0, 2.0));
+        }
+    }
+    // Shuffle key positions so vital keys are scattered through the cache.
+    std::vector<std::size_t> perm(s);
+    for (std::size_t j = 0; j < s; ++j)
+        perm[j] = j;
+    for (std::size_t j = s; j > 1; --j)
+        std::swap(perm[j - 1], perm[rng.uniformInt(j)]);
+
+    // Keys: k_j = q * (l_j * sqrt(d) / ||q||^2) + noise.
+    const double sqrt_d = std::sqrt(static_cast<double>(d));
+    FloatMatrix keys_f(s, d);
+    for (std::size_t j = 0; j < s; ++j) {
+        const double l = logits[perm[j]];
+        const double coef = l * sqrt_d / qnorm2;
+        for (std::size_t i = 0; i < d; ++i) {
+            keys_f.at(j, i) = static_cast<float>(
+                coef * qf[i] + rng.gaussian(0.0, 0.35));
+        }
+    }
+
+    // Quantize query and keys symmetrically (per tensor).
+    AttentionSet out;
+    double qmax = 0.0;
+    for (double v : qf)
+        qmax = std::max(qmax, std::abs(v));
+    const double q_scale = qmax > 0 ? qmax / 127.0 : 1.0;
+    out.query.resize(d);
+    for (std::size_t i = 0; i < d; ++i) {
+        long qq = std::lround(qf[i] / q_scale);
+        out.query[i] = static_cast<std::int8_t>(
+            std::clamp<long>(qq, -127, 127));
+    }
+
+    float kmax = 0.0f;
+    keys_f.forEach([&](std::size_t, std::size_t, float v) {
+        kmax = std::max(kmax, std::abs(v));
+    });
+    const double k_scale = kmax > 0 ? kmax / 127.0 : 1.0;
+    out.keys = Int8Matrix(s, d);
+    for (std::size_t j = 0; j < s; ++j) {
+        for (std::size_t i = 0; i < d; ++i) {
+            long kq = std::lround(keys_f.at(j, i) / k_scale);
+            out.keys.at(j, i) = static_cast<std::int8_t>(
+                std::clamp<long>(kq, -127, 127));
+        }
+    }
+    out.logitScale = q_scale * k_scale / sqrt_d;
+    return out;
+}
+
+} // namespace mcbp::model

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Synthetic tensor generators standing in for real LLM checkpoints and
+ * traces (DESIGN.md section 1 substitution table).
+ *
+ * Weights: LLM weight matrices are near-Gaussian with rare large-magnitude
+ * outlier channels (the paper leans on this in sections 2.3/3.2 and
+ * Fig 25a). We generate Gaussian bulk + a controlled outlier fraction and
+ * feed it through the real per-channel quantizer, so bit-plane sparsity
+ * emerges from the same mechanism as in the paper rather than being
+ * assumed.
+ *
+ * Attention: key vectors are synthesized so that a Zipf-profiled subset
+ * aligns with the query, producing realistic attention concentration
+ * (few keys carry most of the softmax mass) — the property both top-k and
+ * BGPP exploit.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "quant/quantizer.hpp"
+
+namespace mcbp::model {
+
+/** Parameters of the synthetic weight distribution. */
+struct WeightProfile
+{
+    double sigma = 0.02;         ///< Bulk Gaussian std-dev.
+    double outlierFraction = 0.001; ///< Fraction of outlier elements.
+    double dynamicRange = 16.0;  ///< Outlier magnitude in sigmas.
+};
+
+/** Gaussian-plus-outliers float weight matrix. */
+FloatMatrix gaussianWeights(Rng &rng, std::size_t rows, std::size_t cols,
+                            const WeightProfile &profile = {});
+
+/** Convenience: synthesize + per-channel INT quantize in one step. */
+quant::QuantizedWeight synthesizeQuantizedWeight(
+    Rng &rng, std::size_t rows, std::size_t cols, quant::BitWidth bw,
+    const WeightProfile &profile = {});
+
+/** Gaussian activation matrix (token embeddings / hidden states). */
+FloatMatrix gaussianActivations(Rng &rng, std::size_t rows,
+                                std::size_t cols, double sigma = 1.0,
+                                double mean = 0.0);
+
+/** A synthetic (query, key-set) pair with controlled attention skew. */
+struct AttentionSet
+{
+    std::vector<std::int8_t> query; ///< INT8 query row (d).
+    Int8Matrix keys;                ///< S x d INT8 keys.
+    /** Scale converting integer scores to softmax logits. */
+    double logitScale = 1.0;
+};
+
+/**
+ * Synthesize an attention set of @p s keys with head dim @p d.
+ * @param concentration fraction of keys receiving most alignment mass
+ *        (Workload::attentionConcentration).
+ */
+AttentionSet synthesizeAttention(Rng &rng, std::size_t s, std::size_t d,
+                                 double concentration);
+
+} // namespace mcbp::model

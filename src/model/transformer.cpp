@@ -1,0 +1,273 @@
+#include "model/transformer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "quant/gemm.hpp"
+
+namespace mcbp::model {
+
+namespace {
+
+/** y = x * W^T where W is (out x in) and x is (S x in). */
+FloatMatrix
+projectF32(const FloatMatrix &x, const FloatMatrix &w)
+{
+    panicIf(x.cols() != w.cols(), "projection shape mismatch");
+    FloatMatrix y(x.rows(), w.rows());
+    for (std::size_t s = 0; s < x.rows(); ++s) {
+        for (std::size_t o = 0; o < w.rows(); ++o) {
+            float acc = 0.0f;
+            const float *xr = x.rowPtr(s);
+            const float *wr = w.rowPtr(o);
+            for (std::size_t i = 0; i < x.cols(); ++i)
+                acc += xr[i] * wr[i];
+            y.at(s, o) = acc;
+        }
+    }
+    return y;
+}
+
+/** Quantized projection through the folded integer GEMM. */
+FloatMatrix
+projectInt8(const FloatMatrix &x, const FloatMatrix &w)
+{
+    // gemmQuantFolded computes W (M x K) times X (K x N); arrange X as
+    // (in x S) and transpose the (out x S) result back to (S x out).
+    FloatMatrix xt(x.cols(), x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            xt.at(c, r) = x.at(r, c);
+    quant::QuantizedWeight qw =
+        quant::quantizeWeight(w, quant::BitWidth::Int8);
+    quant::QuantizedActivation qx = quant::quantizeActivation(xt);
+    FloatMatrix yt = quant::gemmQuantFolded(qw, qx);
+    FloatMatrix y(x.rows(), w.rows());
+    for (std::size_t r = 0; r < y.rows(); ++r)
+        for (std::size_t c = 0; c < y.cols(); ++c)
+            y.at(r, c) = yt.at(c, r);
+    return y;
+}
+
+/** RMS normalization (no learned scale; eps for stability). */
+FloatMatrix
+rmsNorm(const FloatMatrix &x)
+{
+    FloatMatrix y(x.rows(), x.cols());
+    for (std::size_t s = 0; s < x.rows(); ++s) {
+        double ms = 0.0;
+        for (std::size_t i = 0; i < x.cols(); ++i)
+            ms += static_cast<double>(x.at(s, i)) * x.at(s, i);
+        const float inv = static_cast<float>(
+            1.0 / std::sqrt(ms / static_cast<double>(x.cols()) + 1e-6));
+        for (std::size_t i = 0; i < x.cols(); ++i)
+            y.at(s, i) = x.at(s, i) * inv;
+    }
+    return y;
+}
+
+float
+gelu(float v)
+{
+    const float c = 0.7978845608f; // sqrt(2/pi)
+    return 0.5f * v *
+           (1.0f + std::tanh(c * (v + 0.044715f * v * v * v)));
+}
+
+/** Symmetric per-tensor INT8 quantization of a float row span. */
+void
+quantizeRow(const float *src, std::size_t n, std::vector<std::int8_t> &dst,
+            float scale)
+{
+    dst.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        long q = std::lround(src[i] / scale);
+        dst[i] = static_cast<std::int8_t>(std::clamp<long>(q, -127, 127));
+    }
+}
+
+float
+absMax(const FloatMatrix &m)
+{
+    float mx = 0.0f;
+    m.forEach([&](std::size_t, std::size_t, float v) {
+        mx = std::max(mx, std::abs(v));
+    });
+    return mx > 0.0f ? mx : 1.0f;
+}
+
+} // namespace
+
+LayerWeights
+randomLayer(Rng &rng, std::size_t hidden, std::size_t heads,
+            std::size_t ffn, const WeightProfile &profile)
+{
+    fatalIf(hidden == 0 || heads == 0 || ffn == 0, "bad layer dims");
+    fatalIf(hidden % heads != 0, "hidden must divide by heads");
+    LayerWeights w;
+    w.hidden = hidden;
+    w.heads = heads;
+    w.wq = gaussianWeights(rng, hidden, hidden, profile);
+    w.wk = gaussianWeights(rng, hidden, hidden, profile);
+    w.wv = gaussianWeights(rng, hidden, hidden, profile);
+    w.wo = gaussianWeights(rng, hidden, hidden, profile);
+    w.w1 = gaussianWeights(rng, ffn, hidden, profile);
+    w.w2 = gaussianWeights(rng, hidden, ffn, profile);
+    return w;
+}
+
+TransformerLayer::TransformerLayer(LayerWeights weights)
+    : w_(std::move(weights))
+{
+    fatalIf(w_.hidden == 0, "uninitialized layer weights");
+}
+
+FloatMatrix
+TransformerLayer::forwardF32(const FloatMatrix &x) const
+{
+    return forwardImpl(x, false, nullptr);
+}
+
+FloatMatrix
+TransformerLayer::forwardInt8(const FloatMatrix &x) const
+{
+    return forwardImpl(x, true, nullptr);
+}
+
+FloatMatrix
+TransformerLayer::forwardPruned(const FloatMatrix &x,
+                                const KeySelector &selector) const
+{
+    return forwardImpl(x, true, &selector);
+}
+
+FloatMatrix
+TransformerLayer::forwardImpl(const FloatMatrix &x, bool quantized,
+                              const KeySelector *selector) const
+{
+    fatalIf(x.cols() != w_.hidden, "input width mismatch");
+    const std::size_t s_len = x.rows();
+    const std::size_t h = w_.hidden;
+    const std::size_t heads = w_.heads;
+    const std::size_t d = h / heads;
+
+    auto project = [&](const FloatMatrix &in, const FloatMatrix &w) {
+        return quantized ? projectInt8(in, w) : projectF32(in, w);
+    };
+
+    FloatMatrix xn = rmsNorm(x);
+    FloatMatrix q = project(xn, w_.wq);
+    FloatMatrix k = project(xn, w_.wk);
+    FloatMatrix v = project(xn, w_.wv);
+
+    const float inv_sqrt_d =
+        1.0f / std::sqrt(static_cast<float>(d));
+    FloatMatrix attn_out(s_len, h);
+
+    // INT8 views for the selector (per-tensor symmetric, like the KV
+    // cache the hardware sees).
+    const float q_scale = absMax(q) / 127.0f;
+    const float k_scale = absMax(k) / 127.0f;
+
+    std::vector<std::int8_t> q_row;
+    std::vector<float> scores(s_len);
+    std::vector<char> allowed(s_len);
+
+    for (std::size_t head = 0; head < heads; ++head) {
+        const std::size_t off = head * d;
+        // INT8 key matrix of this head (built once per head).
+        Int8Matrix keys_q(s_len, d);
+        if (selector) {
+            for (std::size_t j = 0; j < s_len; ++j) {
+                for (std::size_t i = 0; i < d; ++i) {
+                    long kv = std::lround(k.at(j, off + i) / k_scale);
+                    keys_q.at(j, i) = static_cast<std::int8_t>(
+                        std::clamp<long>(kv, -127, 127));
+                }
+            }
+        }
+        for (std::size_t si = 0; si < s_len; ++si) {
+            const std::size_t ctx = si + 1; // causal window
+            std::fill(allowed.begin(), allowed.begin() + ctx, 1);
+            if (selector) {
+                quantizeRow(q.rowPtr(si) + off, d, q_row, q_scale);
+                // Selector sees only the causal prefix of the keys.
+                Int8Matrix prefix(ctx, d);
+                for (std::size_t j = 0; j < ctx; ++j)
+                    std::copy(keys_q.rowPtr(j), keys_q.rowPtr(j) + d,
+                              prefix.rowPtr(j));
+                const double logit_scale =
+                    static_cast<double>(q_scale) * k_scale /
+                    std::sqrt(static_cast<double>(d));
+                std::vector<std::uint32_t> sel =
+                    (*selector)(q_row, prefix, logit_scale);
+                std::fill(allowed.begin(), allowed.begin() + ctx, 0);
+                for (std::uint32_t idx : sel) {
+                    if (idx < ctx)
+                        allowed[idx] = 1;
+                }
+                // Always allow the current token (self-attention floor).
+                allowed[si] = 1;
+            }
+            // Scores over the allowed causal window.
+            float mx = -1e30f;
+            for (std::size_t j = 0; j < ctx; ++j) {
+                if (!allowed[j]) {
+                    scores[j] = -1e30f;
+                    continue;
+                }
+                float acc = 0.0f;
+                for (std::size_t i = 0; i < d; ++i)
+                    acc += q.at(si, off + i) * k.at(j, off + i);
+                scores[j] = acc * inv_sqrt_d;
+                mx = std::max(mx, scores[j]);
+            }
+            float denom = 0.0f;
+            for (std::size_t j = 0; j < ctx; ++j) {
+                if (allowed[j]) {
+                    scores[j] = std::exp(scores[j] - mx);
+                    denom += scores[j];
+                } else {
+                    scores[j] = 0.0f;
+                }
+            }
+            panicIf(denom <= 0.0f, "softmax collapsed to zero");
+            for (std::size_t i = 0; i < d; ++i) {
+                float acc = 0.0f;
+                for (std::size_t j = 0; j < ctx; ++j) {
+                    if (scores[j] != 0.0f)
+                        acc += scores[j] * v.at(j, off + i);
+                }
+                attn_out.at(si, off + i) = acc / denom;
+            }
+        }
+    }
+
+    FloatMatrix o = project(attn_out, w_.wo);
+    FloatMatrix y(s_len, h);
+    for (std::size_t r = 0; r < s_len; ++r)
+        for (std::size_t c = 0; c < h; ++c)
+            y.at(r, c) = x.at(r, c) + o.at(r, c);
+
+    FloatMatrix yn = rmsNorm(y);
+    FloatMatrix h1 = project(yn, w_.w1);
+    for (std::size_t r = 0; r < h1.rows(); ++r)
+        for (std::size_t c = 0; c < h1.cols(); ++c)
+            h1.at(r, c) = gelu(h1.at(r, c));
+    FloatMatrix h2 = project(h1, w_.w2);
+
+    FloatMatrix out(s_len, h);
+    for (std::size_t r = 0; r < s_len; ++r)
+        for (std::size_t c = 0; c < h; ++c)
+            out.at(r, c) = y.at(r, c) + h2.at(r, c);
+    return out;
+}
+
+quant::ErrorStats
+layerFidelity(const FloatMatrix &ref, const FloatMatrix &test)
+{
+    return quant::compareTensors(ref, test);
+}
+
+} // namespace mcbp::model

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reference transformer decoder layer (FP32 / INT8 / pruned-attention)
+ * used for the Table 2 accuracy-proxy experiments.
+ *
+ * A complete single block: RMSNorm -> multi-head causal attention ->
+ * residual -> RMSNorm -> MLP (GELU) -> residual. Three execution modes:
+ *
+ *  - forwardF32: the FP16/FP32 reference.
+ *  - forwardInt8: every GEMM runs through the real per-channel/per-tensor
+ *    quantizers and the folded integer GEMM (what MCBP's datapath sees).
+ *  - forwardPruned: INT8 plus per-query key pruning via a caller-supplied
+ *    selector (BGPP or value top-k), measuring the end-to-end effect of
+ *    attention sparsity on the block output.
+ *
+ * Fidelity between the modes (cosine similarity / relative error on the
+ * block output) is the stand-in for task accuracy (DESIGN.md section 1).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "model/synthetic.hpp"
+#include "quant/calibration.hpp"
+
+namespace mcbp::model {
+
+/** Weights of one decoder block (FP32 masters). */
+struct LayerWeights
+{
+    std::size_t hidden = 0;
+    std::size_t heads = 0;
+    FloatMatrix wq, wk, wv, wo; ///< hidden x hidden projections.
+    FloatMatrix w1;             ///< ffn x hidden (up).
+    FloatMatrix w2;             ///< hidden x ffn (down).
+};
+
+/** Create a random decoder block with the given dimensions. */
+LayerWeights randomLayer(Rng &rng, std::size_t hidden, std::size_t heads,
+                         std::size_t ffn, const WeightProfile &profile = {});
+
+/**
+ * Per-query key selector: given the query row (INT8), all keys
+ * (S_kv x d INT8) and the scale converting integer scores to softmax
+ * logits (q_scale * k_scale / sqrt(d)), return the kept key indices
+ * (sorted ascending).
+ */
+using KeySelector = std::function<std::vector<std::uint32_t>(
+    const std::vector<std::int8_t> &, const Int8Matrix &, double)>;
+
+/** One transformer decoder block. */
+class TransformerLayer
+{
+  public:
+    explicit TransformerLayer(LayerWeights weights);
+
+    const LayerWeights &weights() const { return w_; }
+
+    /** FP32 reference forward. @p x is S x hidden. Causal attention. */
+    FloatMatrix forwardF32(const FloatMatrix &x) const;
+
+    /** INT8-quantized forward (GEMMs through the folded integer path). */
+    FloatMatrix forwardInt8(const FloatMatrix &x) const;
+
+    /**
+     * INT8 forward with attention-key pruning: @p selector restricts each
+     * query's softmax to its selected keys (causality still enforced).
+     */
+    FloatMatrix forwardPruned(const FloatMatrix &x,
+                              const KeySelector &selector) const;
+
+  private:
+    FloatMatrix forwardImpl(const FloatMatrix &x, bool quantized,
+                            const KeySelector *selector) const;
+
+    LayerWeights w_;
+};
+
+/** Block-output fidelity between two execution modes. */
+quant::ErrorStats layerFidelity(const FloatMatrix &ref,
+                                const FloatMatrix &test);
+
+} // namespace mcbp::model

@@ -1,0 +1,55 @@
+#include "quant/calibration.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "quant/gemm.hpp"
+
+namespace mcbp::quant {
+
+ErrorStats
+compareTensors(const FloatMatrix &ref, const FloatMatrix &rec)
+{
+    panicIf(ref.rows() != rec.rows() || ref.cols() != rec.cols(),
+            "compareTensors shape mismatch");
+    ErrorStats s;
+    double dot = 0.0, nref = 0.0, nrec = 0.0, err2 = 0.0;
+    for (std::size_t r = 0; r < ref.rows(); ++r) {
+        for (std::size_t c = 0; c < ref.cols(); ++c) {
+            const double a = ref.at(r, c);
+            const double b = rec.at(r, c);
+            const double e = a - b;
+            err2 += e * e;
+            dot += a * b;
+            nref += a * a;
+            nrec += b * b;
+            s.maxAbs = std::max(s.maxAbs, std::abs(e));
+        }
+    }
+    const double n = static_cast<double>(ref.size());
+    s.mse = err2 / n;
+    s.cosine = (nref > 0 && nrec > 0)
+                   ? dot / (std::sqrt(nref) * std::sqrt(nrec))
+                   : 1.0;
+    s.relFrobenius = nref > 0 ? std::sqrt(err2) / std::sqrt(nref) : 0.0;
+    return s;
+}
+
+ErrorStats
+weightQuantError(const FloatMatrix &w, BitWidth bw)
+{
+    QuantizedWeight qw = quantizeWeight(w, bw);
+    return compareTensors(w, dequantizeWeight(qw));
+}
+
+ErrorStats
+gemmQuantError(const FloatMatrix &w, const FloatMatrix &x, BitWidth bw)
+{
+    FloatMatrix ref = gemmF32(w, x);
+    QuantizedWeight qw = quantizeWeight(w, bw);
+    QuantizedActivation qx = quantizeActivation(x);
+    FloatMatrix rec = gemmQuantFolded(qw, qx);
+    return compareTensors(ref, rec);
+}
+
+} // namespace mcbp::quant

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Calibration helpers: given sample float tensors, derive the quantization
+ * parameters the paper assumes are "pre-known by the calibration dataset"
+ * (section 4.1), plus quantization-error metrics used by the Table 2
+ * accuracy-proxy bench.
+ */
+#pragma once
+
+#include "common/matrix.hpp"
+#include "quant/quantizer.hpp"
+
+namespace mcbp::quant {
+
+/** Error summary between a reference tensor and a reconstruction. */
+struct ErrorStats
+{
+    double mse = 0.0;          ///< Mean squared error.
+    double maxAbs = 0.0;       ///< Worst-case absolute error.
+    double cosine = 1.0;       ///< Cosine similarity (1 = identical).
+    double relFrobenius = 0.0; ///< ||ref - rec||_F / ||ref||_F.
+};
+
+/** Compute error statistics between @p ref and @p rec (same shape). */
+ErrorStats compareTensors(const FloatMatrix &ref, const FloatMatrix &rec);
+
+/**
+ * Round-trip quantization error of a weight matrix under a bit width:
+ * quantize -> dequantize -> compare. The Table 2 proxy uses this to show
+ * INT8 is near-lossless while INT4 is materially lossier.
+ */
+ErrorStats weightQuantError(const FloatMatrix &w, BitWidth bw);
+
+/**
+ * End-to-end GEMM error: FP32 reference vs folded quantized GEMM on the
+ * same operands.
+ */
+ErrorStats gemmQuantError(const FloatMatrix &w, const FloatMatrix &x,
+                          BitWidth bw);
+
+} // namespace mcbp::quant

@@ -1,0 +1,82 @@
+#include "quant/gemm.hpp"
+
+#include "common/logging.hpp"
+
+namespace mcbp::quant {
+
+FloatMatrix
+gemmF32(const FloatMatrix &a, const FloatMatrix &b)
+{
+    fatalIf(a.cols() != b.rows(), "gemmF32 shape mismatch");
+    FloatMatrix c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const float av = a.at(i, k);
+            if (av == 0.0f)
+                continue;
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                c.at(i, j) += av * b.at(k, j);
+        }
+    }
+    return c;
+}
+
+Int32Matrix
+gemmInt(const Int8Matrix &w, const Int8Matrix &x)
+{
+    fatalIf(w.cols() != x.rows(), "gemmInt shape mismatch");
+    Int32Matrix c(w.rows(), x.cols());
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+        for (std::size_t k = 0; k < w.cols(); ++k) {
+            const std::int32_t wv = w.at(i, k);
+            if (wv == 0)
+                continue;
+            for (std::size_t j = 0; j < x.cols(); ++j)
+                c.at(i, j) += wv * static_cast<std::int32_t>(x.at(k, j));
+        }
+    }
+    return c;
+}
+
+std::vector<std::int32_t>
+gemvInt(const Int8Matrix &w, const std::vector<std::int8_t> &x)
+{
+    fatalIf(w.cols() != x.size(), "gemvInt shape mismatch");
+    std::vector<std::int32_t> y(w.rows(), 0);
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+        std::int32_t acc = 0;
+        const std::int8_t *row = w.rowPtr(i);
+        for (std::size_t k = 0; k < w.cols(); ++k)
+            acc += static_cast<std::int32_t>(row[k]) *
+                   static_cast<std::int32_t>(x[k]);
+        y[i] = acc;
+    }
+    return y;
+}
+
+FloatMatrix
+gemmQuantFolded(const QuantizedWeight &w, const QuantizedActivation &x)
+{
+    Int32Matrix prod = gemmInt(w.values, x.values);
+    // Row sums of Wq implement the (Wq 1) Zx zero-point correction.
+    FloatMatrix out(prod.rows(), prod.cols());
+    for (std::size_t r = 0; r < prod.rows(); ++r) {
+        std::int64_t row_sum = 0;
+        for (std::size_t c = 0; c < w.values.cols(); ++c)
+            row_sum += w.values.at(r, c);
+        const float scale = w.params.scales[r] * x.params.scale;
+        const float bias = -scale * static_cast<float>(row_sum) *
+                           static_cast<float>(x.params.zero);
+        for (std::size_t c = 0; c < prod.cols(); ++c)
+            out.at(r, c) = scale * static_cast<float>(prod.at(r, c)) + bias;
+    }
+    return out;
+}
+
+std::uint64_t
+gemmMacs(std::size_t m, std::size_t k, std::size_t n)
+{
+    return static_cast<std::uint64_t>(m) * k * n;
+}
+
+} // namespace mcbp::quant

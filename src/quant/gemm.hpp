@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reference GEMM kernels: FP32 reference, exact INT32-accumulating integer
+ * GEMM (the operation BRCR accelerates), and the fully folded quantized
+ * GEMM of Fig 11 (Yq = Scale (.) WqXq + Bias).
+ *
+ * These are the golden models every accelerated path is verified against.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "quant/quantizer.hpp"
+
+namespace mcbp::quant {
+
+/** C = A x B in FP32. A is MxK, B is KxN. */
+FloatMatrix gemmF32(const FloatMatrix &a, const FloatMatrix &b);
+
+/** C = W x X with INT32 accumulation. W is MxK int8, X is KxN int8. */
+Int32Matrix gemmInt(const Int8Matrix &w, const Int8Matrix &x);
+
+/** y = W x x (GEMV) with INT32 accumulation. */
+std::vector<std::int32_t> gemvInt(const Int8Matrix &w,
+                                  const std::vector<std::int8_t> &x);
+
+/**
+ * Folded quantized GEMM (Fig 11): computes the real-valued output of
+ * W x X from quantized operands, applying per-channel Scale and the
+ * zero-point Bias correction:
+ *
+ *   Y = dW_r * dX * (Wq Xq - (Wq 1) Zx)
+ *
+ * Returned in FP32 so tests can compare against gemmF32 on the
+ * dequantized operands.
+ */
+FloatMatrix gemmQuantFolded(const QuantizedWeight &w,
+                            const QuantizedActivation &x);
+
+/** Count of multiply-accumulate operations for an MxKxN GEMM. */
+std::uint64_t gemmMacs(std::size_t m, std::size_t k, std::size_t n);
+
+} // namespace mcbp::quant

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Integer quantization for MCBP (paper section 4.1, Fig 11).
+ *
+ * The paper's scheme, reproduced exactly:
+ *  - Weights: per-channel (per output row) *symmetric* quantization,
+ *    INT8 or INT4 ("PTQ INT8", "QAT INT8", "PTQ INT4" in Fig 25).
+ *  - Activations: per-tensor *asymmetric* quantization with a zero point.
+ *  - The integer GEMM Wq x Xq is computed exactly (this is what BRCR
+ *    accelerates); scaling and bias folding recover the real-valued output:
+ *        Yq = Scale (.) (Wq Xq) + Bias                     (Fig 11b)
+ *    with Scale = dW dX / dY (per channel) and
+ *    Bias = Zy - dW dX (Wq 1) Zx / dY.
+ *
+ * QAT is emulated as PTQ with a learned-step-style clipping of the weight
+ * range (a small percentile clip), which reproduces the paper's observation
+ * (Fig 25a/b) that QAT INT8 and PTQ INT8 weight distributions - and hence
+ * bit sparsity - are nearly identical.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace mcbp::quant {
+
+/** Quantization bit width supported by the library. */
+enum class BitWidth { Int4, Int8 };
+
+/** Number of magnitude levels for a bit width (127 for INT8, 7 for INT4). */
+int maxLevel(BitWidth bw);
+
+/** Number of magnitude bit-planes (7 for INT8, 3 for INT4), sign excluded. */
+int magnitudeBits(BitWidth bw);
+
+/** Per-tensor asymmetric quantization parameters for activations. */
+struct ActQuantParams
+{
+    float scale = 1.0f;   ///< dX: step size.
+    std::int32_t zero = 0; ///< Zx: zero point (stored in INT8 range).
+};
+
+/** Per-channel symmetric quantization parameters for weights. */
+struct WeightQuantParams
+{
+    std::vector<float> scales; ///< dW per output channel (row).
+    BitWidth bitWidth = BitWidth::Int8;
+};
+
+/** A quantized weight matrix together with its parameters. */
+struct QuantizedWeight
+{
+    Int8Matrix values; ///< INT8 container (INT4 values live in [-7, 7]).
+    WeightQuantParams params;
+};
+
+/** A quantized activation matrix together with its parameters. */
+struct QuantizedActivation
+{
+    Int8Matrix values;
+    ActQuantParams params;
+};
+
+/**
+ * Quantize weights per-channel symmetric: row r maps through
+ * scale_r = max(|W_r|) / maxLevel. Zero rows get scale 1 to stay finite.
+ */
+QuantizedWeight quantizeWeight(const FloatMatrix &w, BitWidth bw);
+
+/**
+ * QAT-style weight quantization: clip each channel range at the
+ * @p clip_percentile quantile of |w| (default 0.999) before the symmetric
+ * mapping, emulating a learned step size.
+ */
+QuantizedWeight quantizeWeightQat(const FloatMatrix &w, BitWidth bw,
+                                  double clip_percentile = 0.999);
+
+/** Dequantize a weight matrix back to float (for error measurement). */
+FloatMatrix dequantizeWeight(const QuantizedWeight &qw);
+
+/**
+ * Quantize activations per-tensor asymmetric into [-128, 127]:
+ * scale = (max - min) / 255, zero = round(-min / scale) - 128.
+ */
+QuantizedActivation quantizeActivation(const FloatMatrix &x);
+
+/** Dequantize activations back to float. */
+FloatMatrix dequantizeActivation(const QuantizedActivation &qx);
+
+} // namespace mcbp::quant

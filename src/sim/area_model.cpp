@@ -1,0 +1,71 @@
+#include "sim/area_model.hpp"
+
+#include <sstream>
+
+namespace mcbp::sim {
+
+namespace {
+
+// Area densities calibrated so defaultConfig() lands on the paper's
+// 9.52 mm^2 with its Fig 22(a) breakdown (see file header).
+constexpr double kAreaPerPe = 3.636 / 128.0;      // mm^2 per PE.
+constexpr double kCamFractionOfBrcr = 0.20;       // CAM share of BRCR.
+constexpr double kAreaPerSramKb = 1.818 / 1248.0; // mm^2 per kB.
+constexpr double kAreaPerCodecLane = 0.590 / 120.0;
+constexpr double kAreaPerAdderTree = 0.428 / 64.0;
+constexpr double kSchedulerFixed = 0.70;
+constexpr double kSchedulerPerCluster = 0.036;
+constexpr double kApuFixed = 1.752;
+constexpr double kAreaPerInt8Mac = 0.0016;        // systolic baseline.
+
+} // namespace
+
+std::string
+AreaBreakdown::toString() const
+{
+    std::ostringstream os;
+    const double t = total();
+    auto line = [&](const char *name, double v) {
+        os << "  " << name << ": " << v << " mm^2 ("
+           << (t > 0 ? 100.0 * v / t : 0.0) << "%)\n";
+    };
+    os << "area breakdown (total " << t << " mm^2)\n";
+    line("BRCR unit", brcrUnit);
+    line("BSTC unit", bstcUnit);
+    line("BGPP unit", bgppUnit);
+    line("SRAM", sram);
+    line("scheduler", scheduler);
+    line("APU", apu);
+    return os.str();
+}
+
+AreaBreakdown
+computeArea(const McbpConfig &cfg)
+{
+    AreaBreakdown a;
+    const double pes =
+        static_cast<double>(cfg.peClusters) * cfg.pesPerCluster;
+    a.brcrUnit = pes * kAreaPerPe;
+    a.camOnly = a.brcrUnit * kCamFractionOfBrcr;
+    a.bstcUnit =
+        static_cast<double>(cfg.decoderLanes + cfg.encoderLanes) *
+        kAreaPerCodecLane;
+    a.bgppUnit = static_cast<double>(cfg.bgppAdderTrees) * kAreaPerAdderTree;
+    a.sram = static_cast<double>(cfg.totalSramKb()) * kAreaPerSramKb;
+    a.scheduler = kSchedulerFixed +
+                  kSchedulerPerCluster * static_cast<double>(cfg.peClusters);
+    a.apu = kApuFixed;
+    return a;
+}
+
+double
+systolicBaselineArea(const McbpConfig &cfg)
+{
+    // A dense INT8 systolic array must provision one MAC per add-lane the
+    // BRCR fabric replaces; it keeps the same SRAM, scheduler and APU.
+    AreaBreakdown mcbp = computeArea(cfg);
+    const double macs = cfg.peakAddsPerCycle();
+    return macs * kAreaPerInt8Mac + mcbp.sram + mcbp.scheduler + mcbp.apu;
+}
+
+} // namespace mcbp::sim

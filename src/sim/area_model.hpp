@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Area model for the MCBP accelerator (paper Fig 22a, Table 3/4).
+ *
+ * Stands in for RTL + Synopsys DC synthesis: per-unit area densities are
+ * calibrated so the default configuration reproduces the paper's 9.52 mm^2
+ * total and its breakdown (BRCR 38.2%, SRAM 19.1%, APU 18.4%, scheduler
+ * 13.4%, BSTC 6.2%, BGPP 4.5%). The densities then *scale with the
+ * configuration* (PE count, SRAM capacity, codec lanes), which is what the
+ * Fig 24(b) hardware-ablation bench exercises.
+ */
+#pragma once
+
+#include <string>
+
+#include "sim/mcbp_config.hpp"
+
+namespace mcbp::sim {
+
+/** Area by unit, mm^2 at 28 nm. */
+struct AreaBreakdown
+{
+    double brcrUnit = 0.0;   ///< PE clusters incl. CAMs, AMUs, RUs.
+    double camOnly = 0.0;    ///< CAM portion of the BRCR unit.
+    double bstcUnit = 0.0;   ///< Encoders + decoders.
+    double bgppUnit = 0.0;   ///< Adder trees + progressive filters.
+    double sram = 0.0;       ///< All on-chip buffers.
+    double scheduler = 0.0;  ///< Control + fetch/dispatch.
+    double apu = 0.0;        ///< Embedding + SFU + quantizer.
+
+    double total() const
+    {
+        return brcrUnit + bstcUnit + bgppUnit + sram + scheduler + apu;
+    }
+
+    std::string toString() const;
+};
+
+/** Compute the area of a configuration. */
+AreaBreakdown computeArea(const McbpConfig &cfg);
+
+/**
+ * Area of a dense systolic array with the same INT8 throughput as the
+ * BRCR fabric (the Fig 24(b) baseline).
+ */
+double systolicBaselineArea(const McbpConfig &cfg);
+
+} // namespace mcbp::sim

@@ -1,0 +1,104 @@
+#include "sim/energy_model.hpp"
+
+#include <sstream>
+
+namespace mcbp::sim {
+
+std::string
+EnergyBreakdown::toString() const
+{
+    std::ostringstream os;
+    const double total = totalPj();
+    auto line = [&](const char *name, double v) {
+        os << "  " << name << ": " << v / 1e6 << " uJ ("
+           << (total > 0 ? 100.0 * v / total : 0.0) << "%)\n";
+    };
+    os << "energy breakdown (total " << total / 1e6 << " uJ)\n";
+    line("compute", computePj);
+    line("bit-reorder", bitReorderPj);
+    line("cam", camPj);
+    line("codec", codecPj);
+    line("bgpp", bgppPj);
+    line("sram", sramPj);
+    line("dram", dramPj);
+    line("sfu", sfuPj);
+    return os.str();
+}
+
+EnergyModel::EnergyModel(EnergyParams params) : p_(params) {}
+
+double
+EnergyModel::addsEnergy(std::uint64_t adds) const
+{
+    return static_cast<double>(adds) * p_.int8Add;
+}
+
+double
+EnergyModel::macsEnergy(std::uint64_t macs) const
+{
+    return static_cast<double>(macs) * (p_.int8Mult + p_.int32Add);
+}
+
+double
+EnergyModel::shiftEnergy(std::uint64_t shifts) const
+{
+    return static_cast<double>(shifts) * p_.bitShift;
+}
+
+double
+EnergyModel::camEnergy(std::uint64_t searches, std::uint64_t loads) const
+{
+    return static_cast<double>(searches) * p_.camSearch +
+           static_cast<double>(loads) * p_.camLoadPerPattern;
+}
+
+double
+EnergyModel::codecEnergy(std::uint64_t symbols) const
+{
+    return static_cast<double>(symbols) * p_.codecSymbol;
+}
+
+double
+EnergyModel::sramEnergy(std::uint64_t bytes, bool large_array) const
+{
+    return static_cast<double>(bytes) *
+           (large_array ? p_.sramPerByteLarge : p_.sramPerByteSmall);
+}
+
+double
+EnergyModel::operandEnergy(std::uint64_t bytes) const
+{
+    return static_cast<double>(bytes) * p_.amuOperandByte;
+}
+
+double
+EnergyModel::dramEnergy(std::uint64_t bytes) const
+{
+    return static_cast<double>(bytes) * 8.0 * p_.hbmPerBit;
+}
+
+double
+EnergyModel::bitReorderEnergy(std::uint64_t bits) const
+{
+    return static_cast<double>(bits) * p_.bitReorderPerBit;
+}
+
+double
+EnergyModel::sfuEnergy(std::uint64_t ops) const
+{
+    return static_cast<double>(ops) * p_.fp16Op;
+}
+
+double
+EnergyModel::bgppEnergy(std::uint64_t bit_macs) const
+{
+    return static_cast<double>(bit_macs) * p_.bgppBitMac;
+}
+
+double
+EnergyModel::int4MacEnergy(std::uint64_t macs) const
+{
+    return static_cast<double>(macs) * p_.int4Mac;
+}
+
+} // namespace mcbp::sim

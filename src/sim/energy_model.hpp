@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Analytic per-operation energy model at 28 nm / 1 GHz.
+ *
+ * Stands in for the paper's Synopsys DC + CACTI + IO-power methodology
+ * (section 5.1). Constants are typical published 28 nm numbers (Horowitz
+ * ISSCC'14 style) with the HBM figure taken directly from the paper's
+ * platform (4 pJ/bit). What matters for the reproduced figures is that
+ * (a) DRAM access dwarfs on-chip ops, (b) SRAM costs scale with capacity,
+ * and (c) bit-level ops are far cheaper than full INT8 MACs — all of
+ * which these constants preserve.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcbp::sim {
+
+/** Per-event energies in picojoules. */
+struct EnergyParams
+{
+    double int8Add = 0.06;
+    double int32Add = 0.10;
+    double int8Mult = 0.20;
+    double bitShift = 0.01;       ///< Shift-accumulate steering cost.
+    /** Value->bit reorder cost per decompressed bit: the reorder buffer
+     *  is an SRAM write+read of the staged data (~2.4 pJ/byte). */
+    double bitReorderPerBit = 0.3;
+    double camSearch = 0.9;       ///< One 512 B CAM search.
+    double camLoadPerPattern = 0.05;
+    double codecSymbol = 0.25;    ///< BSTC encoder/decoder symbol.
+    double bgppBitMac = 0.04;    ///< 1-bit AND + adder-tree contribution.
+    double int4Mac = 0.14;       ///< 4b x 8b MAC (value-level top-k).
+    double sramPerByteSmall = 0.6;  ///< <= 128 kB arrays.
+    double sramPerByteLarge = 1.2;  ///< ~768 kB arrays (CACTI-ish).
+    /** Per-operand staging cost (banked activation buffer amortized
+     *  across the 64-wide AMU row reads). */
+    double amuOperandByte = 0.03;
+    double hbmPerBit = 4.0;       ///< Paper platform constant.
+    double fp16Op = 3.0;          ///< SFU non-linear ops.
+};
+
+/** Energy accumulated by category (drives the Fig 20(c)/22/23 splits). */
+struct EnergyBreakdown
+{
+    double computePj = 0.0;    ///< PE adds/mults/shift-accumulate.
+    double bitReorderPj = 0.0; ///< Data reordering for bit-serial PEs.
+    double camPj = 0.0;        ///< CAM loads + searches.
+    double codecPj = 0.0;      ///< BSTC encode/decode.
+    double bgppPj = 0.0;       ///< Prediction unit.
+    double sramPj = 0.0;       ///< On-chip buffer traffic.
+    double dramPj = 0.0;       ///< HBM traffic.
+    double sfuPj = 0.0;        ///< Softmax / LayerNorm / GELU.
+
+    double totalPj() const
+    {
+        return computePj + bitReorderPj + camPj + codecPj + bgppPj +
+               sramPj + dramPj + sfuPj;
+    }
+
+    /** On-chip (non-DRAM) energy. */
+    double onChipPj() const { return totalPj() - dramPj; }
+
+    void
+    merge(const EnergyBreakdown &o)
+    {
+        computePj += o.computePj;
+        bitReorderPj += o.bitReorderPj;
+        camPj += o.camPj;
+        codecPj += o.codecPj;
+        bgppPj += o.bgppPj;
+        sramPj += o.sramPj;
+        dramPj += o.dramPj;
+        sfuPj += o.sfuPj;
+    }
+
+    std::string toString() const;
+};
+
+/** Helper converting event counts into breakdown entries. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergyParams params = {});
+
+    const EnergyParams &params() const { return p_; }
+
+    double addsEnergy(std::uint64_t adds) const;
+    double macsEnergy(std::uint64_t macs) const;
+    double shiftEnergy(std::uint64_t shifts) const;
+    double camEnergy(std::uint64_t searches, std::uint64_t loads) const;
+    double codecEnergy(std::uint64_t symbols) const;
+    double sramEnergy(std::uint64_t bytes, bool large_array) const;
+    double operandEnergy(std::uint64_t bytes) const;
+    double dramEnergy(std::uint64_t bytes) const;
+    double bitReorderEnergy(std::uint64_t bits) const;
+    double sfuEnergy(std::uint64_t ops) const;
+    double bgppEnergy(std::uint64_t bit_macs) const;
+    double int4MacEnergy(std::uint64_t macs) const;
+
+  private:
+    EnergyParams p_;
+};
+
+} // namespace mcbp::sim

@@ -1,0 +1,58 @@
+#include "sim/hbm.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mcbp::sim {
+
+Hbm::Hbm(const McbpConfig &cfg)
+    : bytesPerCycle_(cfg.hbmBytesPerCycle()),
+      energyPjPerByte_(cfg.hbmEnergyPjPerBit * 8.0),
+      rowBytes_(static_cast<double>(cfg.hbmRowBytes)),
+      rowActivateCycles_(cfg.hbmRowActivateCycles)
+{
+    fatalIf(bytesPerCycle_ <= 0.0, "HBM bandwidth must be positive");
+}
+
+HbmTransfer
+Hbm::transfer(std::uint64_t bytes, double sequential_fraction)
+{
+    fatalIf(sequential_fraction < 0.0 || sequential_fraction > 1.0,
+            "sequential fraction must be in [0, 1]");
+    HbmTransfer t;
+    const double b = static_cast<double>(bytes);
+    // Sequential portion activates one row per rowBytes; the scattered
+    // portion activates one row per 32-byte burst.
+    const double seq_rows = b * sequential_fraction / rowBytes_;
+    const double scat_rows = b * (1.0 - sequential_fraction) / 32.0;
+    t.rowActivations =
+        static_cast<std::uint64_t>(std::ceil(seq_rows + scat_rows));
+    t.cycles = b / bytesPerCycle_ +
+               static_cast<double>(t.rowActivations) * rowActivateCycles_ /
+                   8.0; // activations overlap across 8 channels
+    t.energyPj = b * energyPjPerByte_;
+    return t;
+}
+
+HbmTransfer
+Hbm::read(std::uint64_t bytes, double sequential_fraction)
+{
+    HbmTransfer t = transfer(bytes, sequential_fraction);
+    stats_.bytesRead += bytes;
+    stats_.rowActivations += t.rowActivations;
+    stats_.busyCycles += t.cycles;
+    return t;
+}
+
+HbmTransfer
+Hbm::write(std::uint64_t bytes, double sequential_fraction)
+{
+    HbmTransfer t = transfer(bytes, sequential_fraction);
+    stats_.bytesWritten += bytes;
+    stats_.rowActivations += t.rowActivations;
+    stats_.busyCycles += t.cycles;
+    return t;
+}
+
+} // namespace mcbp::sim

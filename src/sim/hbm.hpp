@@ -1,0 +1,68 @@
+/**
+ * @file
+ * HBM main-memory model (section 5.1 platform: 8 x 128-bit channels,
+ * 512 bit/core-cycle, 4 pJ/bit; Fig 13 layout-aware behaviour).
+ *
+ * Stands in for Ramulator: models the two effects the paper depends on —
+ * the bandwidth ceiling, and row-buffer locality determined by how the
+ * bit-slice matrices are laid out across banks (sequential group-major
+ * streams hit the open row; scattered value-level accesses do not).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/mcbp_config.hpp"
+
+namespace mcbp::sim {
+
+/** Result of one modeled transfer. */
+struct HbmTransfer
+{
+    double cycles = 0.0;      ///< Core-clock cycles occupied.
+    double energyPj = 0.0;    ///< Transfer energy.
+    std::uint64_t rowActivations = 0;
+};
+
+/** Cumulative traffic statistics. */
+struct HbmStats
+{
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t rowActivations = 0;
+    double busyCycles = 0.0;
+};
+
+/** Bandwidth/energy model of the HBM stack. */
+class Hbm
+{
+  public:
+    explicit Hbm(const McbpConfig &cfg);
+
+    /**
+     * Model a read of @p bytes with the given spatial locality.
+     * @param sequential_fraction fraction of the transfer that streams
+     *        within open rows (1.0 = perfectly laid-out bit-slice stream,
+     *        Fig 13; lower values model scattered/top-k gather reads).
+     */
+    HbmTransfer read(std::uint64_t bytes, double sequential_fraction = 1.0);
+
+    /** Model a write (same bandwidth/energy behaviour). */
+    HbmTransfer write(std::uint64_t bytes, double sequential_fraction = 1.0);
+
+    const HbmStats &stats() const { return stats_; }
+
+    /** Sustained bandwidth in bytes per core cycle. */
+    double bytesPerCycle() const { return bytesPerCycle_; }
+
+  private:
+    HbmTransfer transfer(std::uint64_t bytes, double sequential_fraction);
+
+    double bytesPerCycle_;
+    double energyPjPerByte_;
+    double rowBytes_;
+    double rowActivateCycles_;
+    HbmStats stats_;
+};
+
+} // namespace mcbp::sim

@@ -1,0 +1,37 @@
+#include "sim/layer_sim.hpp"
+
+#include <algorithm>
+
+namespace mcbp::sim {
+
+TilePipelineResult
+simulateTilePipeline(const std::vector<TileCosts> &tiles)
+{
+    TilePipelineResult res;
+    res.tiles = tiles.size();
+    double load_end = 0.0, decode_end = 0.0, compute_end = 0.0;
+    for (const TileCosts &t : tiles) {
+        // Double buffering: each stage needs only its own unit free and
+        // the upstream stage's output for this tile.
+        load_end = load_end + t.loadCycles;
+        decode_end = std::max(decode_end, load_end) + t.decodeCycles;
+        compute_end =
+            std::max(compute_end, decode_end) + t.computeCycles;
+        res.loadBusy += t.loadCycles;
+        res.decodeBusy += t.decodeCycles;
+        res.computeBusy += t.computeCycles;
+        res.serialCycles +=
+            t.loadCycles + t.decodeCycles + t.computeCycles;
+    }
+    res.totalCycles = compute_end;
+    return res;
+}
+
+TilePipelineResult
+simulateUniformTiles(const TileCosts &tile, std::size_t count)
+{
+    return simulateTilePipeline(
+        std::vector<TileCosts>(count, tile));
+}
+
+} // namespace mcbp::sim

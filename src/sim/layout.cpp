@@ -1,0 +1,42 @@
+#include "sim/layout.hpp"
+
+#include "common/bit_util.hpp"
+#include "common/logging.hpp"
+
+namespace mcbp::sim {
+
+LayoutCost
+bitSliceLayoutFetch(const McbpConfig &cfg, std::size_t rows,
+                    std::size_t cols, std::size_t plane_count)
+{
+    fatalIf(plane_count == 0 || plane_count > 8, "bad plane count");
+    LayoutCost cost;
+    // Each plane is rows*cols bits streamed sequentially; the interleave
+    // spreads consecutive addresses across the banks so every row buffer
+    // serves hbmRowBytes before a new activation.
+    const std::uint64_t plane_bytes =
+        ceilDiv(static_cast<std::uint64_t>(rows) * cols, 8);
+    cost.bytesTouched = plane_bytes * plane_count;
+    cost.rowActivations =
+        plane_count * ceilDiv(plane_bytes, cfg.hbmRowBytes);
+    return cost;
+}
+
+LayoutCost
+valueLayoutFetch(const McbpConfig &cfg, std::size_t rows, std::size_t cols,
+                 std::size_t plane_count)
+{
+    fatalIf(plane_count == 0 || plane_count > 8, "bad plane count");
+    LayoutCost cost;
+    // Value-level layout: to obtain plane_count bit-planes the fetch must
+    // touch every value's byte — the full rows*cols bytes — even though
+    // only plane_count/8 of each byte is useful. Row activations follow
+    // the full footprint.
+    const std::uint64_t value_bytes =
+        static_cast<std::uint64_t>(rows) * cols;
+    cost.bytesTouched = value_bytes;
+    cost.rowActivations = ceilDiv(value_bytes, cfg.hbmRowBytes);
+    return cost;
+}
+
+} // namespace mcbp::sim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * HBM data-layout model for bit-slice weights (paper Fig 13).
+ *
+ * MCBP interleaves the compressed bit-slice stream along the group-size
+ * dimension across all HBM banks at the same address, then advances to
+ * the next address — so a plane-order read is a pure sequential burst
+ * that keeps every row buffer open. A value-level layout stores whole
+ * INT8 values contiguously; fetching a single bit-plane then strides
+ * through memory touching one byte per value, defeating the row buffer.
+ *
+ * This module computes row-activation counts for both layouts so the
+ * dataflow benefit of section 4.2 is measured, not asserted.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/mcbp_config.hpp"
+
+namespace mcbp::sim {
+
+/** Row-activation accounting for one weight fetch pattern. */
+struct LayoutCost
+{
+    std::uint64_t bytesTouched = 0;
+    std::uint64_t rowActivations = 0;
+    /** Useful bytes per activated row (higher = better locality). */
+    double
+    bytesPerActivation() const
+    {
+        return rowActivations == 0
+                   ? 0.0
+                   : static_cast<double>(bytesTouched) /
+                         static_cast<double>(rowActivations);
+    }
+};
+
+/**
+ * Cost of fetching @p plane_count bit-planes of an @p rows x @p cols
+ * weight under MCBP's bit-slice-first, bank-interleaved layout: each
+ * plane is one contiguous stream of rows*cols/8 bytes.
+ */
+LayoutCost bitSliceLayoutFetch(const McbpConfig &cfg, std::size_t rows,
+                               std::size_t cols, std::size_t plane_count);
+
+/**
+ * Cost of fetching the same planes from a value-level layout: the bits of
+ * each value are contiguous, so reading one plane touches every value's
+ * byte but uses only 1/8 of each burst. HBM transfers whole 32-byte
+ * bursts; the stride makes every burst deliver @p plane_count useful bits
+ * per value.
+ */
+LayoutCost valueLayoutFetch(const McbpConfig &cfg, std::size_t rows,
+                            std::size_t cols, std::size_t plane_count);
+
+} // namespace mcbp::sim

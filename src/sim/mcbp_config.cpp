@@ -1,0 +1,41 @@
+#include "sim/mcbp_config.hpp"
+
+#include <sstream>
+
+namespace mcbp::sim {
+
+std::string
+McbpConfig::toString() const
+{
+    std::ostringstream os;
+    os << "MCBP accelerator configuration (" << technologyNm << " nm, "
+       << clockGhz << " GHz)\n";
+    os << "  CAM-based BRCR unit : " << peClusters << " PE clusters ("
+       << peClusters * pesPerCluster << " PEs)\n";
+    os << "  Processing element  : " << camBytes << " B CAM, "
+       << amusPerPe << " add-merge units, 1 reconstruction unit\n";
+    os << "  BSTC codec          : " << decoderLanes << " decoders, "
+       << encoderLanes << " encoders\n";
+    os << "  BGPP unit           : " << bgppAdderTrees << " "
+       << bgppTreeInputs << "-input adder trees, " << bgppFilters
+       << " clock-gated progressive filters\n";
+    os << "  On-chip buffers     : " << tokenSramKb << " kB token, "
+       << weightSramKb << " kB weight, " << tempSramKb
+       << " kB temp SRAM\n";
+    os << "  Main memory         : HBM2, " << hbmChannels << " x "
+       << hbmChannelBits << "-bit channels @ " << hbmClockGhz
+       << " GHz, " << hbmBitsPerCoreCycle << " bit/core-cycle, "
+       << hbmEnergyPjPerBit << " pJ/bit\n";
+    os << "  Tiling              : TM=" << tileM << " TK=" << tileK
+       << " TN=" << tileN << ", group size m=" << groupSize << "\n";
+    return os.str();
+}
+
+const McbpConfig &
+defaultConfig()
+{
+    static const McbpConfig cfg{};
+    return cfg;
+}
+
+} // namespace mcbp::sim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * MCBP accelerator hardware configuration (paper Table 3 and section 4.1),
+ * plus the evaluation's common platform constraints (section 5.1: 1 GHz,
+ * 1248 kB SRAM, 512-bit/cycle HBM at 4 pJ/bit, 28 nm).
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace mcbp::sim {
+
+/** Static hardware configuration of one MCBP processor. */
+struct McbpConfig
+{
+    // Clock and technology.
+    double clockGhz = 1.0;       ///< Core clock (evaluation fixes 1 GHz).
+    int technologyNm = 28;       ///< TSMC 28 nm.
+
+    // BRCR compute fabric (Fig 10 / Fig 14 / Table 3).
+    std::size_t peClusters = 16; ///< Scaled to match the HBM interface.
+    std::size_t pesPerCluster = 8;   ///< One PE per bit-slice.
+    std::size_t amusPerPe = 16;      ///< Addition-merge units.
+    /** Activations each AMU sums per cycle through its adder tree
+     *  (Fig 14: 16 selected activations feed each merge unit). */
+    std::size_t addsPerAmuCycle = 4;
+    std::size_t camBytes = 512;      ///< CAM capacity per PE.
+    /** Fixed adders in each PE's reconstruction unit (Fig 14: Adder0-3,
+     *  time-multiplexed across the 16 AMUs). */
+    std::size_t reconAddersPerRu = 4;
+    std::size_t camColumns = 64;     ///< Columns matched per CAM load.
+    std::size_t groupSize = 4;       ///< m.
+
+    // Tiling (Fig 12).
+    std::size_t tileM = 64;
+    std::size_t tileK = 256;
+    std::size_t tileN = 32;
+
+    // BSTC codec (Table 3: 20x4 decoders, 10x4 encoders).
+    std::size_t decoderLanes = 80;
+    std::size_t encoderLanes = 40;
+    std::size_t decoderBitsPerCycle = 1; ///< Symbol bit per lane-cycle.
+
+    // BGPP unit (Table 3: 64 64-input adder trees, 4 filters).
+    std::size_t bgppAdderTrees = 64;
+    std::size_t bgppTreeInputs = 64;
+    std::size_t bgppFilters = 4;
+
+    // On-chip SRAM (Table 3).
+    std::size_t tokenSramKb = 384;
+    std::size_t weightSramKb = 768;
+    std::size_t tempSramKb = 96;
+
+    // Main memory (Table 3 / section 5.1 common platform).
+    std::size_t hbmChannels = 8;
+    std::size_t hbmChannelBits = 128;
+    double hbmClockGhz = 2.0;
+    std::size_t hbmBitsPerCoreCycle = 512; ///< Evaluation-fixed bandwidth.
+    double hbmEnergyPjPerBit = 4.0;        ///< [O'Connor et al.]
+    std::size_t hbmRowBytes = 1024;        ///< Row-buffer granularity.
+    double hbmRowActivateCycles = 14.0;    ///< tRCD-ish penalty per miss.
+
+    /** Total on-chip SRAM (kB); the evaluation fixes 1248 kB. */
+    std::size_t totalSramKb() const
+    {
+        return tokenSramKb + weightSramKb + tempSramKb;
+    }
+
+    /** Peak additions/cycle of the PE fabric (AMU lanes x tree width). */
+    double peakAddsPerCycle() const
+    {
+        return static_cast<double>(peClusters) * pesPerCluster *
+               amusPerPe * addsPerAmuCycle;
+    }
+
+    /** HBM bytes per core cycle. */
+    double hbmBytesPerCycle() const
+    {
+        return static_cast<double>(hbmBitsPerCoreCycle) / 8.0;
+    }
+
+    /** Human-readable configuration dump (Table 3 bench). */
+    std::string toString() const;
+};
+
+/** The paper's default configuration. */
+const McbpConfig &defaultConfig();
+
+} // namespace mcbp::sim

@@ -1,0 +1,60 @@
+#include "sim/pe_cluster.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace mcbp::sim {
+
+PeClusterModel::PeClusterModel(const McbpConfig &cfg) : cfg_(cfg)
+{
+    pes_ = static_cast<double>(cfg_.peClusters) * cfg_.pesPerCluster;
+    amuLanes_ = pes_ * static_cast<double>(cfg_.amusPerPe) *
+                static_cast<double>(cfg_.addsPerAmuCycle);
+    fatalIf(pes_ <= 0.0, "PE fabric must be non-empty");
+}
+
+double
+PeClusterModel::brcrCycles(const BrcrWork &work) const
+{
+    // One CAM search per PE per cycle; one merge add per AMU lane per
+    // cycle; one reconstruction add per PE's RU per cycle; CAM loads
+    // stream camColumns patterns per PE per cycle.
+    const double search_cycles = work.camSearches / pes_;
+    const double merge_cycles = work.mergeAdds / amuLanes_;
+    const double recon_cycles =
+        work.reconAdds /
+        (pes_ * static_cast<double>(cfg_.reconAddersPerRu));
+    const double load_cycles =
+        work.camLoads / (pes_ * static_cast<double>(cfg_.camColumns));
+    return std::max({search_cycles, merge_cycles, recon_cycles,
+                     load_cycles});
+}
+
+double
+PeClusterModel::codecCycles(const CodecWork &work) const
+{
+    // Each decoder lane retires one symbol per cycle (Fig 15b SIPO).
+    return work.symbols / static_cast<double>(cfg_.decoderLanes);
+}
+
+double
+PeClusterModel::bgppCycles(const BgppWork &work) const
+{
+    const double tree_ops =
+        static_cast<double>(cfg_.bgppAdderTrees) * cfg_.bgppTreeInputs;
+    const double mac_cycles = work.bitMacs / tree_ops;
+    const double thr_cycles =
+        work.thresholdOps / static_cast<double>(cfg_.bgppFilters);
+    return std::max(mac_cycles, thr_cycles);
+}
+
+double
+PeClusterModel::denseMacCycles(double macs) const
+{
+    // A dense INT8 fabric of the same lane count retires one MAC per
+    // lane per cycle.
+    return macs / amuLanes_;
+}
+
+} // namespace mcbp::sim

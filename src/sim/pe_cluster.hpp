@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cycle model of the CAM-based BRCR compute fabric (Fig 14) and of the
+ * BSTC/BGPP units, at tile granularity.
+ *
+ * The fabric is fully pipelined (Fig 10 bottom): per cycle each PE issues
+ * one CAM search, each AMU one merge addition, each RU one reconstruction
+ * addition, and each decoder lane one BSTC symbol. A tile's latency is
+ * therefore the maximum of the per-resource occupancy times (the slowest
+ * pipeline stage), which is how the paper reasons about its 78% average
+ * utilization.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/mcbp_config.hpp"
+
+namespace mcbp::sim {
+
+/** Work of one BRCR workload slice (already summed over planes/groups). */
+struct BrcrWork
+{
+    double mergeAdds = 0.0;   ///< MAV accumulate additions.
+    double reconAdds = 0.0;   ///< Reconstruction additions.
+    double camSearches = 0.0; ///< Non-gated search keys.
+    double camLoads = 0.0;    ///< Column patterns written to CAMs.
+};
+
+/** Work of the BSTC decoders feeding the fabric. */
+struct CodecWork
+{
+    double symbols = 0.0; ///< Two-state symbols to decode.
+};
+
+/** Work of one BGPP prediction batch. */
+struct BgppWork
+{
+    double bitMacs = 0.0;      ///< 1-bit AND+accumulate ops.
+    double thresholdOps = 0.0; ///< Max/min/compare passes.
+};
+
+/** Pipelined-latency estimator for the MCBP fabric. */
+class PeClusterModel
+{
+  public:
+    explicit PeClusterModel(const McbpConfig &cfg);
+
+    /** Cycles for the BRCR fabric to retire @p work (pipelined max). */
+    double brcrCycles(const BrcrWork &work) const;
+
+    /** Cycles for the decoder lanes to stream @p work. */
+    double codecCycles(const CodecWork &work) const;
+
+    /** Cycles for the BGPP unit to retire @p work. */
+    double bgppCycles(const BgppWork &work) const;
+
+    /** Dense-systolic reference: INT8 MACs/cycle with the same fabric. */
+    double denseMacCycles(double macs) const;
+
+  private:
+    McbpConfig cfg_;
+    double pes_;        ///< Total PEs.
+    double amuLanes_;   ///< Total addition-merge lanes.
+};
+
+} // namespace mcbp::sim

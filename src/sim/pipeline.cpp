@@ -1,0 +1,37 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+
+namespace mcbp::sim {
+
+LayerLatency
+composeLayer(const StageCycles &stages)
+{
+    LayerLatency lat;
+    lat.linearPart = std::max({stages.weightLoad, stages.weightDecode,
+                               stages.linearCompute, stages.actLoad});
+    // BGPP overlaps the QKV-generation window; the excess is exposed.
+    const double exposed_pred = std::max(
+        0.0,
+        stages.prediction - lat.linearPart * kPredictionOverlapWindow);
+    lat.attentionPart =
+        exposed_pred + std::max(stages.kvLoad, stages.attention);
+    lat.exposedSfu = stages.sfu * kExposedSfuFraction;
+    lat.totalCycles = lat.linearPart + lat.attentionPart + lat.exposedSfu;
+    return lat;
+}
+
+LayerLatency
+composeLayerSerial(const StageCycles &stages)
+{
+    LayerLatency lat;
+    lat.linearPart = stages.weightLoad + stages.weightDecode +
+                     stages.linearCompute + stages.actLoad;
+    lat.attentionPart =
+        stages.prediction + stages.kvLoad + stages.attention;
+    lat.exposedSfu = stages.sfu;
+    lat.totalCycles = lat.linearPart + lat.attentionPart + lat.exposedSfu;
+    return lat;
+}
+
+} // namespace mcbp::sim

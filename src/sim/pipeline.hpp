@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Stage-overlap model of the MCBP Transformer workflow (Fig 10 top:
+ * steps 1-8 with BGPP concurrent to BRCR, and weight decode overlapped
+ * with compute through double buffering).
+ *
+ * Latency composition rules (per layer):
+ *   - Weight HBM load, BSTC decode and BRCR compute form a pipeline:
+ *     the layer's linear portion costs max(load, decode, compute).
+ *   - QK prediction (BGPP) runs concurrently with the QKV/linear GEMMs;
+ *     it only adds latency if it outruns them.
+ *   - Sparse attention (formal compute over the vital KVs) costs
+ *     max(kv load, attention compute) and follows the prediction.
+ *   - SFU (softmax/LN/GELU) work is pipelined with compute; a small
+ *     non-overlappable fraction remains exposed.
+ */
+#pragma once
+
+#include <string>
+
+namespace mcbp::sim {
+
+/** Per-layer stage cycle inputs. */
+struct StageCycles
+{
+    double weightLoad = 0.0;  ///< HBM weight traffic.
+    double weightDecode = 0.0;///< BSTC decoder occupancy.
+    double linearCompute = 0.0; ///< BRCR GEMM cycles (QKV, O, FFN).
+    double prediction = 0.0;  ///< BGPP rounds (incl. its KV bit loads).
+    double kvLoad = 0.0;      ///< Vital-KV HBM traffic.
+    double attention = 0.0;   ///< Sparse QK^T + PV compute.
+    double sfu = 0.0;         ///< Non-linear ops.
+    double actLoad = 0.0;     ///< Activation HBM traffic.
+};
+
+/** Result of composing one layer. */
+struct LayerLatency
+{
+    double totalCycles = 0.0;
+    double linearPart = 0.0;    ///< max(load, decode, compute) segment.
+    double attentionPart = 0.0; ///< prediction-then-attention segment.
+    double exposedSfu = 0.0;
+};
+
+/** Fraction of SFU work that cannot be hidden under compute. */
+inline constexpr double kExposedSfuFraction = 0.15;
+
+/**
+ * Fraction of the linear segment the BGPP prediction can hide under:
+ * prediction runs concurrently with QK/V generation (Fig 10 steps 6-7),
+ * which is roughly the QKV share of the layer's linear work.
+ */
+inline constexpr double kPredictionOverlapWindow = 0.35;
+
+/** Compose one layer's latency with MCBP's overlap rules. */
+LayerLatency composeLayer(const StageCycles &stages);
+
+/**
+ * Compose a layer with *no* overlap (the Fig 21 "software on GPU" or
+ * naive-baseline composition): all stages serialize.
+ */
+LayerLatency composeLayerSerial(const StageCycles &stages);
+
+} // namespace mcbp::sim

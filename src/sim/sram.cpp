@@ -1,0 +1,50 @@
+#include "sim/sram.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mcbp::sim {
+
+Sram::Sram(std::string name, std::size_t capacity_kb, std::size_t banks,
+           std::size_t bytes_per_bank_cycle)
+    : name_(std::move(name)), capacityBytes_(capacity_kb * 1024),
+      banks_(banks), bytesPerBankCycle_(bytes_per_bank_cycle)
+{
+    fatalIf(capacityBytes_ == 0 || banks_ == 0 || bytesPerBankCycle_ == 0,
+            "invalid SRAM configuration");
+    // CACTI-like scaling: energy per byte grows roughly with sqrt of the
+    // array capacity; anchored at 0.6 pJ/B for a 96 kB array.
+    perBytePj_ = 0.6 * std::sqrt(static_cast<double>(capacityBytes_) /
+                                 (96.0 * 1024.0));
+}
+
+double
+Sram::streamCycles(std::uint64_t bytes) const
+{
+    const double per_cycle =
+        static_cast<double>(banks_ * bytesPerBankCycle_);
+    return static_cast<double>(bytes) / per_cycle;
+}
+
+double
+Sram::accessEnergyPj(std::uint64_t bytes) const
+{
+    return static_cast<double>(bytes) * perBytePj_;
+}
+
+void
+Sram::read(std::uint64_t bytes)
+{
+    bytesRead_ += bytes;
+    energyPj_ += accessEnergyPj(bytes);
+}
+
+void
+Sram::write(std::uint64_t bytes)
+{
+    bytesWritten_ += bytes;
+    energyPj_ += accessEnergyPj(bytes);
+}
+
+} // namespace mcbp::sim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * On-chip SRAM buffer model (Table 3: token / weight / temp SRAMs).
+ *
+ * Stands in for CACTI: per-access energy scales with array size, and each
+ * bank serves one row per cycle (the constraint behind Fig 13's
+ * bank-interleaved layout). Capacity violations are reported, which the
+ * tiling tests use to validate the TM/TK/TN choice.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcbp::sim {
+
+/** One SRAM buffer. */
+class Sram
+{
+  public:
+    /**
+     * @param name buffer name for reports.
+     * @param capacity_kb capacity in kB.
+     * @param banks number of independently addressable banks.
+     * @param bytes_per_bank_cycle row width served per bank per cycle.
+     */
+    Sram(std::string name, std::size_t capacity_kb, std::size_t banks,
+         std::size_t bytes_per_bank_cycle);
+
+    const std::string &name() const { return name_; }
+    std::size_t capacityBytes() const { return capacityBytes_; }
+
+    /** Whether a working set fits. */
+    bool fits(std::uint64_t bytes) const { return bytes <= capacityBytes_; }
+
+    /** Cycles to stream @p bytes through all banks. */
+    double streamCycles(std::uint64_t bytes) const;
+
+    /** Access energy in pJ (capacity-scaled per-byte cost). */
+    double accessEnergyPj(std::uint64_t bytes) const;
+
+    /** Account a read. */
+    void read(std::uint64_t bytes);
+    /** Account a write. */
+    void write(std::uint64_t bytes);
+
+    std::uint64_t bytesRead() const { return bytesRead_; }
+    std::uint64_t bytesWritten() const { return bytesWritten_; }
+    double energyPj() const { return energyPj_; }
+
+  private:
+    std::string name_;
+    std::size_t capacityBytes_;
+    std::size_t banks_;
+    std::size_t bytesPerBankCycle_;
+    double perBytePj_;
+    std::uint64_t bytesRead_ = 0;
+    std::uint64_t bytesWritten_ = 0;
+    double energyPj_ = 0.0;
+};
+
+} // namespace mcbp::sim

@@ -1,0 +1,74 @@
+#include "sim/tiling.hpp"
+
+#include <sstream>
+
+#include "common/bit_util.hpp"
+#include "common/logging.hpp"
+
+namespace mcbp::sim {
+
+std::string
+TilePlan::toString() const
+{
+    std::ostringstream os;
+    os << "GEMM " << m << "x" << k << "x" << n << " tiled " << tileM
+       << "x" << tileK << "x" << tileN << " -> grid " << gridM << "x"
+       << gridK << "x" << gridN << " (" << totalTiles() << " tiles), "
+       << "weight stripe " << weightStripeBytes << " B ("
+       << (weightStripeResident ? "resident" : "streamed")
+       << "), weight re-read x" << weightRereadFactor
+       << ", activation re-read x" << actRereadFactor;
+    return os.str();
+}
+
+TilePlan
+planGemmTiling(const McbpConfig &cfg, std::size_t m, std::size_t k,
+               std::size_t n, double weight_compression)
+{
+    fatalIf(m == 0 || k == 0 || n == 0, "degenerate GEMM shape");
+    fatalIf(weight_compression <= 0.0, "compression ratio must be > 0");
+
+    TilePlan plan;
+    plan.m = m;
+    plan.k = k;
+    plan.n = n;
+    plan.tileM = std::min(cfg.tileM, m);
+    plan.tileK = std::min(cfg.tileK, k);
+    plan.tileN = std::min(cfg.tileN, n);
+    plan.gridM = ceilDiv(m, plan.tileM);
+    plan.gridK = ceilDiv(k, plan.tileK);
+    plan.gridN = ceilDiv(n, plan.tileN);
+
+    // A TM x K stripe in bit-sliced INT8 form, after compression.
+    plan.weightStripeBytes = static_cast<std::uint64_t>(
+        static_cast<double>(plan.tileM) * k / weight_compression);
+    plan.actTileBytes =
+        static_cast<std::uint64_t>(plan.tileK) * plan.tileN;
+    plan.outTileBytes =
+        static_cast<std::uint64_t>(plan.tileM) * plan.tileN * 4;
+
+    const std::uint64_t weight_sram = cfg.weightSramKb * 1024ull;
+    // Double buffering halves the usable capacity.
+    plan.weightStripeResident =
+        plan.weightStripeBytes <= weight_sram / 2;
+
+    if (plan.weightStripeResident) {
+        // Output-stationary with the stripe resident: weights stream
+        // from HBM exactly once; activations re-stream once per M-stripe.
+        plan.weightRereadFactor = 1.0;
+        plan.actRereadFactor = static_cast<double>(plan.gridM);
+    } else {
+        // The stripe does not fit: every N-tile pass re-streams the
+        // K-dimension weight tiles that were evicted.
+        const double resident_fraction =
+            static_cast<double>(weight_sram / 2) /
+            static_cast<double>(plan.weightStripeBytes);
+        plan.weightRereadFactor =
+            1.0 + (1.0 - resident_fraction) *
+                      static_cast<double>(plan.gridN - 1);
+        plan.actRereadFactor = static_cast<double>(plan.gridM);
+    }
+    return plan;
+}
+
+} // namespace mcbp::sim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GEMM tiling planner (paper Fig 12): output-stationary TM x TK x TN
+ * tiling with weight-SRAM residency checks.
+ *
+ * MCBP stores the bit-slices of a TM x K weight stripe in the weight SRAM
+ * at once when it fits, assigns TM x TK weight tiles together with
+ * TK x TN activation tiles to PE clusters, and walks the loop nest
+ *   for m in M/TM: for n in N/TN: for k in K/TK: BRCR-GEMM(tile).
+ * The planner computes the tile grid, the per-buffer working sets, and
+ * the HBM re-read factors that the accelerator model charges.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/mcbp_config.hpp"
+
+namespace mcbp::sim {
+
+/** A planned tiling for one M x K x N GEMM. */
+struct TilePlan
+{
+    std::size_t m = 0, k = 0, n = 0;    ///< Problem dimensions.
+    std::size_t tileM = 0, tileK = 0, tileN = 0;
+    std::size_t gridM = 0, gridK = 0, gridN = 0; ///< Ceil tile counts.
+
+    /** Weight bytes resident per M-stripe (bit-sliced, compressed CR=1). */
+    std::uint64_t weightStripeBytes = 0;
+    /** Activation tile bytes (TK x TN INT8). */
+    std::uint64_t actTileBytes = 0;
+    /** Output tile bytes (TM x TN INT32 partials). */
+    std::uint64_t outTileBytes = 0;
+
+    /** Whether the full TM x K weight stripe fits the weight SRAM. */
+    bool weightStripeResident = false;
+
+    /**
+     * HBM re-read factor for weights: 1 when each weight tile is loaded
+     * once (output-stationary, activations resident or streamed), else
+     * the number of N-tile passes that must re-stream the weights.
+     */
+    double weightRereadFactor = 1.0;
+    /** HBM re-read factor for activations (re-streamed per M-stripe). */
+    double actRereadFactor = 1.0;
+
+    std::size_t totalTiles() const { return gridM * gridK * gridN; }
+    std::string toString() const;
+};
+
+/**
+ * Plan the tiling of an M x K x N GEMM on @p cfg (Fig 12 defaults
+ * TM=64, TK=256, TN=32).
+ *
+ * @param weight_compression BSTC ratio applied to the resident stripe.
+ */
+TilePlan planGemmTiling(const McbpConfig &cfg, std::size_t m,
+                        std::size_t k, std::size_t n,
+                        double weight_compression = 1.0);
+
+} // namespace mcbp::sim

@@ -1,0 +1,240 @@
+/** @file Unit tests for the accel/ layer: MCBP, GPU and SOTA baselines. */
+#include <gtest/gtest.h>
+
+#include "accel/baselines.hpp"
+#include "accel/gpu_model.hpp"
+#include "accel/mcbp_accelerator.hpp"
+
+namespace mcbp::accel {
+namespace {
+
+const model::LlmConfig &llama7b() { return model::findModel("Llama7B"); }
+
+TEST(Report, DerivedMetrics)
+{
+    RunMetrics r;
+    r.clockGhz = 1.0;
+    r.prefill.cycles = 1e9; // 1 second
+    r.prefill.denseMacs = 5e11;
+    r.prefill.energy.dramPj = 2e12; // 2 J
+    EXPECT_DOUBLE_EQ(r.seconds(), 1.0);
+    EXPECT_DOUBLE_EQ(r.joules(), 2.0);
+    EXPECT_DOUBLE_EQ(r.watts(), 2.0);
+    EXPECT_DOUBLE_EQ(r.gops(), 1000.0);
+    EXPECT_DOUBLE_EQ(r.gopsPerWatt(), 500.0);
+}
+
+TEST(Report, SpeedupHelpers)
+{
+    RunMetrics fast, slow;
+    fast.clockGhz = slow.clockGhz = 1.0;
+    fast.prefill.cycles = 1e6;
+    slow.prefill.cycles = 9e6;
+    fast.prefill.energy.dramPj = 1e9;
+    slow.prefill.energy.dramPj = 5e9;
+    EXPECT_DOUBLE_EQ(speedupVs(fast, slow), 9.0);
+    EXPECT_DOUBLE_EQ(energySavingVs(fast, slow), 5.0);
+}
+
+TEST(Mcbp, BeatsItsOwnBaseline)
+{
+    // Full MCBP vs vanilla bit compute + value compression + value top-k
+    // (Fig 19a): it must be materially faster on every task kind.
+    McbpAccelerator full = makeMcbpStandard();
+    McbpAccelerator base = makeMcbpBaseline();
+    for (const char *task : {"Dolly", "MBPP", "Cola"}) {
+        RunMetrics a = full.run(llama7b(), model::findTask(task));
+        RunMetrics b = base.run(llama7b(), model::findTask(task));
+        EXPECT_GT(speedupVs(a, b), 1.15) << task;
+        // Energy: clearly better on prompt/mixed tasks; on the most
+        // weight-streaming-bound task (MBPP decode) the value-level
+        // Huffman baseline's strong compression ratio keeps it close
+        // (see EXPERIMENTS.md), so require parity there.
+        EXPECT_GT(energySavingVs(a, b), 0.95) << task;
+    }
+    RunMetrics a = full.run(llama7b(), model::findTask("Dolly"));
+    RunMetrics b = base.run(llama7b(), model::findTask("Dolly"));
+    EXPECT_GT(energySavingVs(a, b), 1.2);
+}
+
+TEST(Mcbp, AggressiveFasterThanStandard)
+{
+    McbpAccelerator std_cfg = makeMcbpStandard();
+    McbpAccelerator agg_cfg = makeMcbpAggressive();
+    RunMetrics s = std_cfg.run(llama7b(), model::findTask("Dolly"));
+    RunMetrics a = agg_cfg.run(llama7b(), model::findTask("Dolly"));
+    EXPECT_GE(speedupVs(a, s), 0.99); // at least not slower
+}
+
+TEST(Mcbp, BstcAcceleratesDecodeWeightPath)
+{
+    // BSTC's edge over value-level Huffman is throughput and alignment:
+    // the two-state decoder keeps up with HBM while the variable-length
+    // value decoder serializes, so decode-heavy runs finish faster even
+    // when Huffman's raw compression ratio is competitive.
+    McbpOptions with, without;
+    without.enableBstc = false;
+    McbpAccelerator a(sim::defaultConfig(), with);
+    McbpAccelerator b(sim::defaultConfig(), without);
+    const model::Workload &mbpp = model::findTask("MBPP");
+    RunMetrics ra = a.run(llama7b(), mbpp);
+    RunMetrics rb = b.run(llama7b(), mbpp);
+    EXPECT_LT(ra.decode.cycles, rb.decode.cycles);
+    // And the value path pays bit-reorder energy that BSTC avoids.
+    EXPECT_EQ(ra.decode.energy.bitReorderPj, 0.0);
+    EXPECT_GT(rb.decode.energy.bitReorderPj, 0.0);
+}
+
+TEST(Mcbp, BgppCutsKvTraffic)
+{
+    McbpOptions with, without;
+    without.enableBgpp = false;
+    McbpAccelerator a(sim::defaultConfig(), with);
+    McbpAccelerator b(sim::defaultConfig(), without);
+    const model::Workload &dolly = model::findTask("Dolly");
+    RunMetrics ra = a.run(llama7b(), dolly);
+    RunMetrics rb = b.run(llama7b(), dolly);
+    EXPECT_LT(ra.decode.traffic.predictionBytes +
+                  ra.decode.traffic.kvBytes,
+              rb.decode.traffic.predictionBytes +
+                  rb.decode.traffic.kvBytes);
+}
+
+TEST(Mcbp, BrcrCutsExecutedAdds)
+{
+    McbpOptions with, without;
+    without.enableBrcr = false;
+    McbpAccelerator a(sim::defaultConfig(), with);
+    McbpAccelerator b(sim::defaultConfig(), without);
+    const model::Workload &cola = model::findTask("Cola");
+    EXPECT_LT(a.run(llama7b(), cola).prefill.executedAdds,
+              b.run(llama7b(), cola).prefill.executedAdds);
+}
+
+TEST(Mcbp, NamesReflectConfiguration)
+{
+    EXPECT_EQ(makeMcbpStandard().name(), "MCBP(S)");
+    EXPECT_EQ(makeMcbpAggressive().name(), "MCBP(A)");
+    EXPECT_EQ(makeMcbpBaseline().name(), "Baseline");
+    McbpOptions o;
+    o.enableBgpp = false;
+    EXPECT_EQ(McbpAccelerator(sim::defaultConfig(), o).name(), "MCBP[RC]");
+}
+
+TEST(Gpu, DecodeDominatedByWeightsOnShortPrompts)
+{
+    // Fig 1(a): on the A100, short-prompt decode is dominated by weight
+    // loading; long-prompt decode by KV loading.
+    GpuA100Model gpu;
+    model::Workload short_p =
+        model::withLengths(model::findTask("Cola"), 1024, 16);
+    RunMetrics r = gpu.run(llama7b(), short_p);
+    EXPECT_GT(r.decode.weightLoadCycles, r.decode.kvLoadCycles);
+
+    model::Workload long_p =
+        model::withLengths(model::findTask("Dolly"), 65536, 16);
+    RunMetrics r2 = gpu.run(llama7b(), long_p);
+    EXPECT_GT(r2.decode.kvLoadCycles, r2.decode.weightLoadCycles);
+}
+
+TEST(Gpu, DecodeMemoryBound)
+{
+    GpuA100Model gpu;
+    RunMetrics r = gpu.run(llama7b(), model::findTask("MBPP"));
+    // Decode latency must track traffic, not compute.
+    EXPECT_GT(r.decode.weightLoadCycles + r.decode.kvLoadCycles,
+              r.decode.gemmCycles);
+}
+
+TEST(Gpu, BatchAmortizesWeights)
+{
+    GpuA100Model gpu;
+    model::Workload b8 = model::findTask("MBPP");
+    model::Workload b128 = b8;
+    b128.batch = 128;
+    RunMetrics r8 = gpu.run(llama7b(), b8);
+    RunMetrics r128 = gpu.run(llama7b(), b128);
+    // Throughput per batch element improves with batch (Fig 20a).
+    const double t8 = r8.seconds() / 8.0;
+    const double t128 = r128.seconds() / 128.0;
+    EXPECT_LT(t128, t8);
+}
+
+TEST(Gpu, SoftwareAlgorithmsGiveModestGain)
+{
+    // Fig 21: deploying MCBP's algorithms on the GPU yields only ~1.0-1.5x.
+    GpuA100Model plain;
+    GpuA100Model with_sw({}, {true, true, true});
+    const model::Workload &dolly = model::findTask("Dolly");
+    RunMetrics a = plain.run(llama7b(), dolly);
+    RunMetrics b = with_sw.run(llama7b(), dolly);
+    const double gain = speedupVs(b, a);
+    EXPECT_GT(gain, 0.95);
+    EXPECT_LT(gain, 2.5);
+}
+
+TEST(Baselines, TraitsReflectMechanisms)
+{
+    WeightStats ws = profileWeights(llama7b(), quant::BitWidth::Int8, 1);
+    AttentionStats as =
+        profileAttention(llama7b(), model::findTask("Dolly"), 0.6, 1);
+    EXPECT_EQ(makeSystolic().name, "Systolic");
+    EXPECT_TRUE(makeSpatten(as).decodeOptimized);
+    EXPECT_FALSE(makeSofa(as).decodeOptimized);
+    EXPECT_FALSE(makeFact(as).decodeOptimized);
+    EXPECT_GT(makeBitwave(ws).bitReorderPerWeightBit, 0.0);
+    EXPECT_LT(makeFuseKna(ws).utilization, 0.7);
+    EXPECT_DOUBLE_EQ(makeCambriconC(ws).weightCompression, 2.0);
+}
+
+TEST(Baselines, TopkDesignsBeatSystolicOnLongContext)
+{
+    WeightStats ws = profileWeights(llama7b(), quant::BitWidth::Int8, 1);
+    AttentionStats as =
+        profileAttention(llama7b(), model::findTask("Dolly"), 0.6, 1);
+    (void)ws;
+    BaselineAccelerator systolic(makeSystolic());
+    BaselineAccelerator spatten(makeSpatten(as));
+    const model::Workload &dolly = model::findTask("Dolly");
+    RunMetrics rs = systolic.run(llama7b(), dolly);
+    RunMetrics rp = spatten.run(llama7b(), dolly);
+    EXPECT_GT(speedupVs(rp, rs), 1.1);
+}
+
+TEST(Baselines, PrefillOnlyDesignsLoseInDecode)
+{
+    // SOFA's mechanisms do not apply in decode: its decode time matches
+    // the systolic reference much more closely than Spatten's does.
+    AttentionStats as =
+        profileAttention(llama7b(), model::findTask("Dolly"), 0.6, 1);
+    BaselineAccelerator systolic(makeSystolic());
+    BaselineAccelerator sofa(makeSofa(as));
+    BaselineAccelerator spatten(makeSpatten(as));
+    const model::Workload &dolly = model::findTask("Dolly");
+    const double d_sys = systolic.run(llama7b(), dolly).decode.cycles;
+    const double d_sofa = sofa.run(llama7b(), dolly).decode.cycles;
+    const double d_spat = spatten.run(llama7b(), dolly).decode.cycles;
+    EXPECT_LT(d_spat, d_sofa);
+    EXPECT_LE(d_sofa, d_sys * 1.05);
+}
+
+TEST(Mcbp, OutperformsAllBaselinesOnMeanEfficiency)
+{
+    // Table 4 shape: MCBP's energy efficiency tops every baseline.
+    McbpAccelerator mcbp = makeMcbpStandard();
+    WeightStats ws = profileWeights(llama7b(), quant::BitWidth::Int8, 1);
+    AttentionStats as =
+        profileAttention(llama7b(), model::findTask("Dolly"), 0.6, 1);
+    const model::Workload &dolly = model::findTask("Dolly");
+    RunMetrics rm = mcbp.run(llama7b(), dolly);
+    for (const BaselineTraits &traits :
+         {makeSystolic(), makeSpatten(as), makeFact(as), makeSofa(as),
+          makeBitwave(ws), makeFuseKna(ws)}) {
+        BaselineAccelerator accel(traits);
+        RunMetrics rb = accel.run(llama7b(), dolly);
+        EXPECT_GT(rm.gopsPerWatt(), rb.gopsPerWatt()) << traits.name;
+    }
+}
+
+} // namespace
+} // namespace mcbp::accel

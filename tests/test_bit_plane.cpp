@@ -1,0 +1,102 @@
+/** @file Unit tests for bitslice/bit_plane. */
+#include <gtest/gtest.h>
+
+#include "bitslice/bit_plane.hpp"
+#include "common/rng.hpp"
+
+namespace mcbp::bitslice {
+namespace {
+
+TEST(BitPlane, StartsZero)
+{
+    BitPlane p(8, 100);
+    EXPECT_EQ(p.countOnes(), 0u);
+    EXPECT_DOUBLE_EQ(p.sparsity(), 1.0);
+    EXPECT_FALSE(p.get(3, 99));
+}
+
+TEST(BitPlane, SetGetClear)
+{
+    BitPlane p(4, 70); // crosses the 64-bit word boundary
+    p.set(2, 65, true);
+    EXPECT_TRUE(p.get(2, 65));
+    EXPECT_FALSE(p.get(2, 64));
+    EXPECT_FALSE(p.get(1, 65));
+    p.set(2, 65, false);
+    EXPECT_FALSE(p.get(2, 65));
+}
+
+TEST(BitPlane, CountOnesAndRows)
+{
+    BitPlane p(3, 128);
+    p.set(0, 0, true);
+    p.set(0, 127, true);
+    p.set(2, 64, true);
+    EXPECT_EQ(p.countOnes(), 3u);
+    EXPECT_EQ(p.countOnesInRow(0), 2u);
+    EXPECT_EQ(p.countOnesInRow(1), 0u);
+    EXPECT_EQ(p.countOnesInRow(2), 1u);
+}
+
+TEST(BitPlane, Sparsity)
+{
+    BitPlane p(2, 10);
+    for (int c = 0; c < 5; ++c)
+        p.set(0, c, true);
+    EXPECT_DOUBLE_EQ(p.sparsity(), 0.75);
+}
+
+TEST(BitPlane, ColumnPattern)
+{
+    BitPlane p(8, 4);
+    // Column 1: rows 0, 2, 3 of the group starting at row 0.
+    p.set(0, 1, true);
+    p.set(2, 1, true);
+    p.set(3, 1, true);
+    EXPECT_EQ(p.columnPattern(0, 4, 1), 0b1101u);
+    EXPECT_EQ(p.columnPattern(0, 4, 0), 0u);
+    // Group starting at row 2 sees rows 2..5: bits 0 and 1 set.
+    EXPECT_EQ(p.columnPattern(2, 4, 1), 0b0011u);
+}
+
+TEST(BitPlane, ColumnPatternTailGroup)
+{
+    // Plane rows not divisible by m: the tail group zero-pads.
+    BitPlane p(6, 2);
+    p.set(4, 0, true);
+    p.set(5, 0, true);
+    EXPECT_EQ(p.columnPattern(4, 4, 0), 0b0011u);
+}
+
+TEST(BitPlane, ColumnPatternsMatchScalar)
+{
+    Rng rng(3);
+    BitPlane p(12, 150);
+    for (std::size_t r = 0; r < 12; ++r)
+        for (std::size_t c = 0; c < 150; ++c)
+            p.set(r, c, rng.bernoulli(0.3));
+    std::vector<std::uint32_t> pats;
+    for (std::size_t row0 = 0; row0 < 12; row0 += 4) {
+        p.columnPatterns(row0, 4, pats);
+        ASSERT_EQ(pats.size(), 150u);
+        for (std::size_t c = 0; c < 150; ++c)
+            EXPECT_EQ(pats[c], p.columnPattern(row0, 4, c));
+    }
+}
+
+TEST(BitPlane, Equality)
+{
+    BitPlane a(4, 4), b(4, 4);
+    EXPECT_TRUE(a == b);
+    b.set(1, 1, true);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(BitPlane, GroupSizeLimit)
+{
+    BitPlane p(32, 8);
+    EXPECT_THROW(p.columnPattern(0, 17, 0), std::logic_error);
+}
+
+} // namespace
+} // namespace mcbp::bitslice

@@ -1,0 +1,68 @@
+/** @file Unit tests for common/bit_util. */
+#include <gtest/gtest.h>
+
+#include "common/bit_util.hpp"
+
+namespace mcbp {
+namespace {
+
+TEST(BitUtil, Popcount)
+{
+    EXPECT_EQ(popcount64(0), 0);
+    EXPECT_EQ(popcount64(1), 1);
+    EXPECT_EQ(popcount64(0xff), 8);
+    EXPECT_EQ(popcount64(~std::uint64_t{0}), 64);
+    EXPECT_EQ(popcount64(0xa5a5a5a5a5a5a5a5ull), 32);
+}
+
+TEST(BitUtil, BitAt)
+{
+    EXPECT_EQ(bitAt(0b1010, 0), 0u);
+    EXPECT_EQ(bitAt(0b1010, 1), 1u);
+    EXPECT_EQ(bitAt(0b1010, 2), 0u);
+    EXPECT_EQ(bitAt(0b1010, 3), 1u);
+    EXPECT_EQ(bitAt(std::uint64_t{1} << 63, 63), 1u);
+}
+
+TEST(BitUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(ceilDiv(8191, 64), 128u);
+}
+
+TEST(BitUtil, Pow2AndIpow)
+{
+    EXPECT_EQ(pow2(0), 1u);
+    EXPECT_EQ(pow2(4), 16u);
+    EXPECT_EQ(pow2(10), 1024u);
+    EXPECT_EQ(ipow(3, 0), 1u);
+    EXPECT_EQ(ipow(3, 4), 81u);
+    EXPECT_EQ(ipow(2, 16), 65536u);
+    EXPECT_EQ(ipow(10, 3), 1000u);
+}
+
+TEST(BitUtil, ToBinary)
+{
+    EXPECT_EQ(toBinary(0, 4), "0000");
+    EXPECT_EQ(toBinary(5, 4), "0101");
+    EXPECT_EQ(toBinary(9, 4), "1001");
+    EXPECT_EQ(toBinary(0b1001, 2), "01"); // truncates to low bits
+    EXPECT_EQ(toBinary(255, 8), "11111111");
+}
+
+TEST(BitUtil, Int8Magnitude)
+{
+    EXPECT_EQ(int8Magnitude(0), 0);
+    EXPECT_EQ(int8Magnitude(5), 5);
+    EXPECT_EQ(int8Magnitude(-5), 5);
+    EXPECT_EQ(int8Magnitude(127), 127);
+    EXPECT_EQ(int8Magnitude(-127), 127);
+    // -128 clamps into the 7-bit magnitude domain.
+    EXPECT_EQ(int8Magnitude(-128), 127);
+}
+
+} // namespace
+} // namespace mcbp

@@ -1,0 +1,102 @@
+/** @file Unit tests for bstc/bitstream. */
+#include <gtest/gtest.h>
+
+#include "bstc/bitstream.hpp"
+#include "common/rng.hpp"
+
+namespace mcbp::bstc {
+namespace {
+
+TEST(BitStream, SingleBits)
+{
+    BitWriter w;
+    w.putBit(true);
+    w.putBit(false);
+    w.putBit(true);
+    EXPECT_EQ(w.bitCount(), 3u);
+    BitReader r(w.bytes(), w.bitCount());
+    EXPECT_TRUE(r.getBit());
+    EXPECT_FALSE(r.getBit());
+    EXPECT_TRUE(r.getBit());
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BitStream, MultiBitRoundTrip)
+{
+    BitWriter w;
+    w.putBits(0b1011, 4);
+    w.putBits(0x5a, 8);
+    w.putBits(0x12345, 20);
+    BitReader r(w.bytes(), w.bitCount());
+    EXPECT_EQ(r.getBits(4), 0b1011u);
+    EXPECT_EQ(r.getBits(8), 0x5au);
+    EXPECT_EQ(r.getBits(20), 0x12345u);
+}
+
+TEST(BitStream, RandomRoundTrip)
+{
+    Rng rng(1);
+    BitWriter w;
+    std::vector<std::pair<std::uint32_t, unsigned>> items;
+    for (int i = 0; i < 500; ++i) {
+        const unsigned n = 1 + static_cast<unsigned>(rng.uniformInt(24));
+        const std::uint32_t v =
+            static_cast<std::uint32_t>(rng.uniformInt(1u << n));
+        items.emplace_back(v, n);
+        w.putBits(v, n);
+    }
+    BitReader r(w.bytes(), w.bitCount());
+    for (const auto &[v, n] : items)
+        EXPECT_EQ(r.getBits(n), v);
+}
+
+TEST(BitStream, SeekAndPosition)
+{
+    BitWriter w;
+    w.putBits(0xff, 8);
+    w.putBits(0x0, 8);
+    w.putBits(0xab, 8);
+    BitReader r(w.bytes(), w.bitCount());
+    r.seek(16);
+    EXPECT_EQ(r.position(), 16u);
+    EXPECT_EQ(r.getBits(8), 0xabu);
+    r.seek(0);
+    EXPECT_EQ(r.getBits(8), 0xffu);
+}
+
+TEST(BitStream, ExhaustionPanics)
+{
+    BitWriter w;
+    w.putBit(true);
+    BitReader r(w.bytes(), w.bitCount());
+    r.getBit();
+    EXPECT_THROW(r.getBit(), std::logic_error);
+}
+
+TEST(BitStream, SeekPastEndPanics)
+{
+    BitWriter w;
+    w.putBits(0xf, 4);
+    BitReader r(w.bytes(), w.bitCount());
+    EXPECT_THROW(r.seek(5), std::logic_error);
+}
+
+TEST(BitStream, WidthLimitPanics)
+{
+    BitWriter w;
+    EXPECT_THROW(w.putBits(0, 33), std::logic_error);
+    w.putBits(0, 32);
+    BitReader r(w.bytes(), w.bitCount());
+    EXPECT_THROW(r.getBits(33), std::logic_error);
+}
+
+TEST(BitStream, PaddingIsZero)
+{
+    BitWriter w;
+    w.putBit(true);
+    ASSERT_EQ(w.bytes().size(), 1u);
+    EXPECT_EQ(w.bytes()[0], 0x01);
+}
+
+} // namespace
+} // namespace mcbp::bstc

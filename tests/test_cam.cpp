@@ -1,0 +1,120 @@
+/** @file Unit tests for brcr/cam: the CAM fast-match functional model. */
+#include <gtest/gtest.h>
+
+#include "brcr/cam.hpp"
+#include "common/rng.hpp"
+
+namespace mcbp::brcr {
+namespace {
+
+/** Read bit c from a packed bitmap. */
+bool
+bitmapBit(const std::vector<std::uint64_t> &bm, std::size_t c)
+{
+    return (bm[c >> 6] >> (c & 63)) & 1u;
+}
+
+TEST(Cam, MatchesDirectComparison)
+{
+    Rng rng(1);
+    for (std::size_t m : {2u, 4u, 6u, 8u}) {
+        CamMatchUnit cam(m, 64);
+        std::vector<std::uint32_t> patterns(64);
+        for (auto &p : patterns)
+            p = static_cast<std::uint32_t>(rng.uniformInt(1u << m));
+        cam.load(patterns);
+        for (std::uint32_t key = 0; key < (1u << m); ++key) {
+            auto bm = cam.search(key);
+            for (std::size_t c = 0; c < 64; ++c) {
+                const bool expected = key != 0 && patterns[c] == key;
+                EXPECT_EQ(bitmapBit(bm, c), expected)
+                    << "m=" << m << " key=" << key << " col=" << c;
+            }
+        }
+    }
+}
+
+TEST(Cam, Fig14Example)
+{
+    // Fig 14: patterns {data0..data3}, searching 0001 matches data0 and
+    // data3 producing bitmap 1001.
+    CamMatchUnit cam(4, 4);
+    cam.load({0b0001, 0b1001, 0b0100, 0b0001});
+    auto bm = cam.search(0b0001);
+    EXPECT_TRUE(bitmapBit(bm, 0));
+    EXPECT_FALSE(bitmapBit(bm, 1));
+    EXPECT_FALSE(bitmapBit(bm, 2));
+    EXPECT_TRUE(bitmapBit(bm, 3));
+}
+
+TEST(Cam, ZeroKeyClockGated)
+{
+    CamMatchUnit cam(4, 8);
+    cam.load({0, 0, 1, 2});
+    auto bm = cam.search(0);
+    for (std::size_t c = 0; c < 8; ++c)
+        EXPECT_FALSE(bitmapBit(bm, c));
+    EXPECT_EQ(cam.stats().gatedSearches, 1u);
+    EXPECT_EQ(cam.stats().searches, 0u);
+}
+
+TEST(Cam, StatsAccumulate)
+{
+    CamMatchUnit cam(4, 16);
+    std::vector<std::uint32_t> p(16, 0b0101);
+    cam.load(p);
+    EXPECT_EQ(cam.stats().loads, 16u);
+    cam.search(0b0101);
+    cam.search(0b1010);
+    EXPECT_EQ(cam.stats().searches, 2u);
+    EXPECT_EQ(cam.stats().matches, 16u);
+}
+
+TEST(Cam, ReloadReplacesContents)
+{
+    CamMatchUnit cam(4, 4);
+    cam.load({1, 1, 1, 1});
+    cam.load({2, 2, 2, 2});
+    auto bm1 = cam.search(1);
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_FALSE(bitmapBit(bm1, c));
+    auto bm2 = cam.search(2);
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_TRUE(bitmapBit(bm2, c));
+}
+
+TEST(Cam, PartialLoad)
+{
+    CamMatchUnit cam(4, 64);
+    cam.load({7, 7});
+    EXPECT_EQ(cam.loadedColumns(), 2u);
+    auto bm = cam.search(7);
+    EXPECT_TRUE(bitmapBit(bm, 0));
+    EXPECT_TRUE(bitmapBit(bm, 1));
+    for (std::size_t c = 2; c < 64; ++c)
+        EXPECT_FALSE(bitmapBit(bm, c));
+}
+
+TEST(Cam, InvalidConfigurationsFatal)
+{
+    EXPECT_THROW(CamMatchUnit(0, 16), std::runtime_error);
+    EXPECT_THROW(CamMatchUnit(3, 16), std::runtime_error); // odd m
+    EXPECT_THROW(CamMatchUnit(10, 16), std::runtime_error);
+    EXPECT_THROW(CamMatchUnit(4, 0), std::runtime_error);
+}
+
+TEST(Cam, OverflowFatal)
+{
+    CamMatchUnit cam(4, 2);
+    EXPECT_THROW(cam.load({1, 2, 3}), std::runtime_error);
+}
+
+TEST(Cam, WideKeyPanics)
+{
+    CamMatchUnit cam(4, 4);
+    cam.load({1});
+    EXPECT_THROW(cam.search(16), std::logic_error);
+}
+
+} // namespace
+} // namespace mcbp::brcr

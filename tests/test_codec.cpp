@@ -1,0 +1,181 @@
+/** @file Unit + property tests for bstc/codec and plane_policy. */
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bstc/codec.hpp"
+#include "bstc/plane_policy.hpp"
+#include "common/rng.hpp"
+
+namespace mcbp::bstc {
+namespace {
+
+bitslice::BitPlane
+randomPlane(std::uint64_t seed, std::size_t rows, std::size_t cols,
+            double density)
+{
+    Rng rng(seed);
+    bitslice::BitPlane p(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            p.set(r, c, rng.bernoulli(density));
+    return p;
+}
+
+TEST(Codec, WorkedExampleSymbols)
+{
+    // Section 3.2: {0000} -> {0} and {0001} -> {10001}.
+    bitslice::BitPlane p(4, 2);
+    p.set(0, 1, true); // column 1 pattern = 0001 (bit 0 = row 0)
+    BitWriter w;
+    CodecStats st = encodeGroup(p, 0, 4, w);
+    EXPECT_EQ(st.zeroSymbols, 1u);
+    EXPECT_EQ(st.nonZeroSymbols, 1u);
+    EXPECT_EQ(w.bitCount(), 1u + 5u);
+    BitReader r(w.bytes(), w.bitCount());
+    auto cols = decodeColumns(r, 4, 2);
+    EXPECT_EQ(cols[0], 0u);
+    EXPECT_EQ(cols[1], 0b0001u);
+}
+
+// Round-trip property sweep over group size and density.
+class CodecRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>>
+{
+};
+
+TEST_P(CodecRoundTrip, PlaneRoundTripsLosslessly)
+{
+    const auto [m, density] = GetParam();
+    bitslice::BitPlane p = randomPlane(
+        m * 1000 + static_cast<std::uint64_t>(density * 100), 4 * m + 1,
+        257, density);
+    BitWriter w;
+    encodePlane(p, m, w);
+    BitReader r(w.bytes(), w.bitCount());
+    bitslice::BitPlane q = decodePlane(r, m, p.rows(), p.cols());
+    EXPECT_TRUE(p == q);
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CodecRoundTrip,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 6u, 8u),
+                       ::testing::Values(0.0, 0.05, 0.3, 0.7, 1.0)));
+
+TEST(Codec, StatsCountSymbols)
+{
+    bitslice::BitPlane p = randomPlane(7, 8, 64, 0.2);
+    BitWriter w;
+    CodecStats enc = encodePlane(p, 4, w);
+    EXPECT_EQ(enc.totalSymbols(), 2u * 64u); // two groups of 64 columns
+    BitReader r(w.bytes(), w.bitCount());
+    CodecStats dec;
+    decodePlane(r, 4, 8, 64, &dec);
+    EXPECT_EQ(dec.zeroSymbols, enc.zeroSymbols);
+    EXPECT_EQ(dec.nonZeroSymbols, enc.nonZeroSymbols);
+}
+
+TEST(Codec, AnalyticCompressionRatio)
+{
+    // Section 3.2: BSTC pays off only above a sparsity break-even. For
+    // i.i.d. plane bits the m=4 break-even sits near SR ~ 0.72 (real
+    // planes with correlated zeros break even earlier, which is where
+    // the paper's 65% figure comes from).
+    EXPECT_GT(analyticCompressionRatio(0.75, 4), 1.0);
+    EXPECT_LT(analyticCompressionRatio(0.65, 4), 1.0);
+    EXPECT_LT(analyticCompressionRatio(0.55, 4), 1.0);
+    // m=1 never exceeds 1 (every non-zero costs 2 bits for 1).
+    for (double sr : {0.5, 0.7, 0.9, 0.99})
+        EXPECT_LE(analyticCompressionRatio(sr, 1), 1.0 + 1e-12);
+}
+
+TEST(Codec, AnalyticPeaksNearM4AtHighSparsity)
+{
+    // Fig 8(b): for SR ~0.9 the CR peaks around m=4..5.
+    const double sr = 0.9;
+    double best = 0.0;
+    std::size_t best_m = 0;
+    for (std::size_t m = 1; m <= 10; ++m) {
+        const double cr = analyticCompressionRatio(sr, m);
+        if (cr > best) {
+            best = cr;
+            best_m = m;
+        }
+    }
+    EXPECT_GE(best_m, 3u);
+    EXPECT_LE(best_m, 6u);
+    EXPECT_GT(best, 1.5);
+}
+
+TEST(Codec, MeasuredMatchesAnalyticOnIidPlanes)
+{
+    // On large i.i.d. planes the measured CR approaches the analytic CR.
+    for (double sparsity : {0.7, 0.85, 0.95}) {
+        bitslice::BitPlane p = randomPlane(
+            static_cast<std::uint64_t>(sparsity * 1000), 64, 4096,
+            1.0 - sparsity);
+        const double measured = measuredCompressionRatio(p, 4);
+        const double analytic = analyticCompressionRatio(sparsity, 4);
+        EXPECT_NEAR(measured, analytic, analytic * 0.06)
+            << "sparsity " << sparsity;
+    }
+}
+
+TEST(Codec, DensePlaneExpands)
+{
+    bitslice::BitPlane p = randomPlane(9, 16, 512, 0.9);
+    EXPECT_LT(measuredCompressionRatio(p, 4), 1.0);
+}
+
+TEST(Codec, EmptyPlaneCompressesToFlags)
+{
+    bitslice::BitPlane p(8, 256);
+    BitWriter w;
+    encodePlane(p, 4, w);
+    EXPECT_EQ(w.bitCount(), 2u * 256u); // one '0' flag per group column
+    EXPECT_DOUBLE_EQ(measuredCompressionRatio(p, 4), 4.0);
+}
+
+TEST(PlanePolicy, PaperDefaultInt8)
+{
+    PlanePolicy p = paperDefaultPolicy(7);
+    ASSERT_EQ(p.compress.size(), 7u);
+    EXPECT_FALSE(p.compress[0]); // plane 1
+    EXPECT_FALSE(p.compress[1]); // plane 2
+    for (std::size_t i = 2; i < 7; ++i)
+        EXPECT_TRUE(p.compress[i]); // planes 3-7
+    EXPECT_FALSE(p.compressSign);
+    EXPECT_EQ(p.compressedCount(), 5u);
+}
+
+TEST(PlanePolicy, PaperDefaultInt4)
+{
+    PlanePolicy p = paperDefaultPolicy(3);
+    ASSERT_EQ(p.compress.size(), 3u);
+    EXPECT_FALSE(p.compress[0]);
+    EXPECT_FALSE(p.compress[1]);
+    EXPECT_TRUE(p.compress[2]);
+}
+
+TEST(PlanePolicy, AdaptiveThreshold)
+{
+    bitslice::SparsityReport rep;
+    rep.planeSparsity = {0.4, 0.6, 0.66, 0.9};
+    PlanePolicy p = adaptivePolicy(rep, 0.65);
+    ASSERT_EQ(p.compress.size(), 4u);
+    EXPECT_FALSE(p.compress[0]);
+    EXPECT_FALSE(p.compress[1]);
+    EXPECT_TRUE(p.compress[2]);
+    EXPECT_TRUE(p.compress[3]);
+}
+
+TEST(PlanePolicy, AdaptiveRejectsBadThreshold)
+{
+    bitslice::SparsityReport rep;
+    EXPECT_THROW(adaptivePolicy(rep, 0.0), std::runtime_error);
+    EXPECT_THROW(adaptivePolicy(rep, 1.0), std::runtime_error);
+}
+
+} // namespace
+} // namespace mcbp::bstc

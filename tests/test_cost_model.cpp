@@ -1,0 +1,97 @@
+/** @file Unit tests for brcr/cost_model: the paper's analytic formulas. */
+#include <gtest/gtest.h>
+
+#include "brcr/cost_model.hpp"
+
+namespace mcbp::brcr {
+namespace {
+
+TEST(CostModel, PaperHeadlineNumbers)
+{
+    // Section 3.1: for H~4k, bs~0.70, vs~0.07, m=4, BRCR achieves up to
+    // 12.1x and 3.8x reduction vs value sparsity and naive BSC.
+    CostModelParams p;
+    p.hidden = 4096;
+    p.groupSize = 4;
+    p.weightBits = 7;
+    p.bitSparsity = 0.70;
+    p.valueSparsity = 0.07;
+    EXPECT_NEAR(reductionVsValue(p), 12.1, 0.4);
+    EXPECT_NEAR(reductionVsBsc(p), 3.8, 0.2);
+}
+
+TEST(CostModel, FormulaValues)
+{
+    CostModelParams p;
+    p.hidden = 1024;
+    p.groupSize = 4;
+    p.weightBits = 7;
+    p.bitSparsity = 0.5;
+    p.valueSparsity = 0.0;
+    // BRCR: 7 * (1024^2/4 * 0.5 + 1024 * 8)
+    EXPECT_DOUBLE_EQ(brcrAdds(p),
+                     7.0 * (1024.0 * 1024.0 / 4.0 * 0.5 + 1024.0 * 8.0));
+    EXPECT_DOUBLE_EQ(naiveBscAdds(p), 7.0 * 1024.0 * 1024.0 * 0.5);
+    EXPECT_DOUBLE_EQ(valueSparsityAdds(p), 7.0 * 1024.0 * 1024.0);
+}
+
+TEST(CostModel, SweetSpotInMiddle)
+{
+    // The m trade-off (Fig 18): adds at the sweet spot beat both ends.
+    CostModelParams p;
+    p.hidden = 4096;
+    p.bitSparsity = 0.70;
+    auto adds = [&](std::size_t m) {
+        CostModelParams q = p;
+        q.groupSize = m;
+        return brcrAdds(q);
+    };
+    double best = adds(1);
+    std::size_t best_m = 1;
+    for (std::size_t m = 2; m <= 10; ++m) {
+        if (adds(m) < best) {
+            best = adds(m);
+            best_m = m;
+        }
+    }
+    EXPECT_GE(best_m, 3u);
+    EXPECT_LE(best_m, 7u);
+    EXPECT_LT(best, adds(1));
+    EXPECT_LT(best, adds(10));
+}
+
+TEST(CostModel, MonotonicInSparsity)
+{
+    CostModelParams lo, hi;
+    lo.bitSparsity = 0.5;
+    hi.bitSparsity = 0.9;
+    EXPECT_GT(brcrAdds(lo), brcrAdds(hi));
+}
+
+TEST(CostModel, ZeroColumnProbability)
+{
+    EXPECT_DOUBLE_EQ(zeroColumnProbability(0.9, 1), 0.9);
+    EXPECT_NEAR(zeroColumnProbability(0.9, 4), 0.6561, 1e-9);
+    EXPECT_DOUBLE_EQ(zeroColumnProbability(1.0, 8), 1.0);
+    EXPECT_DOUBLE_EQ(zeroColumnProbability(0.0, 3), 0.0);
+}
+
+TEST(CostModel, ExpectedDistinctPatterns)
+{
+    // With far more columns than patterns, expect nearly all patterns
+    // present (the pigeonhole argument); with few columns, about that
+    // many distinct patterns.
+    EXPECT_NEAR(expectedDistinctPatterns(4096, 4), 15.0, 0.1);
+    EXPECT_LT(expectedDistinctPatterns(4, 8), 4.01);
+    EXPECT_GT(expectedDistinctPatterns(4, 8), 3.9);
+}
+
+TEST(CostModel, InvalidGroupSizeFatal)
+{
+    CostModelParams p;
+    p.groupSize = 0;
+    EXPECT_THROW(brcrAdds(p), std::runtime_error);
+}
+
+} // namespace
+} // namespace mcbp::brcr

@@ -1,0 +1,125 @@
+/** @file Exhaustive small-space verification: for tiny shapes, sweep the
+ *  *entire* input space (or a dense randomized cover of it) so the
+ *  bit-exactness claims do not rest on sampled seeds alone. */
+#include <gtest/gtest.h>
+
+#include "brcr/brcr_engine.hpp"
+#include "bstc/codec.hpp"
+#include "bstc/compressed_weight.hpp"
+#include "common/rng.hpp"
+#include "quant/gemm.hpp"
+
+namespace mcbp {
+namespace {
+
+TEST(Exhaustive, BrcrSingleElementAllValues)
+{
+    // Every (weight, activation) pair in INT8 x INT8 through a 1x1 GEMV.
+    brcr::BrcrEngine engine({1, quant::BitWidth::Int8});
+    for (int wv = -127; wv <= 127; wv += 3) {
+        for (int xv = -127; xv <= 127; xv += 7) {
+            Int8Matrix w(1, 1);
+            w.at(0, 0) = static_cast<std::int8_t>(wv);
+            std::vector<std::int8_t> x = {
+                static_cast<std::int8_t>(xv)};
+            ASSERT_EQ(engine.gemv(w, x).y[0], wv * xv)
+                << wv << " * " << xv;
+        }
+    }
+}
+
+TEST(Exhaustive, BrcrAllTwoByTwoBitMatrices)
+{
+    // All 2^4 binary 2x2 matrices times a fixed activation, at m=2.
+    brcr::BrcrEngine engine({2, quant::BitWidth::Int8});
+    std::vector<std::int8_t> x = {3, -5};
+    for (unsigned bits = 0; bits < 16; ++bits) {
+        Int8Matrix w(2, 2);
+        w.at(0, 0) = (bits >> 0) & 1;
+        w.at(0, 1) = (bits >> 1) & 1;
+        w.at(1, 0) = (bits >> 2) & 1;
+        w.at(1, 1) = (bits >> 3) & 1;
+        EXPECT_EQ(engine.gemv(w, x).y, quant::gemvInt(w, x))
+            << "matrix bits " << bits;
+    }
+}
+
+TEST(Exhaustive, BrcrSignPatternSweep)
+{
+    // All 2^6 sign patterns over a 6-element row of fixed magnitudes.
+    brcr::BrcrEngine engine;
+    std::vector<std::int8_t> x = {1, 2, 3, 4, 5, 6};
+    const int mags[6] = {1, 7, 16, 33, 64, 127};
+    for (unsigned signs = 0; signs < 64; ++signs) {
+        Int8Matrix w(1, 6);
+        for (unsigned i = 0; i < 6; ++i)
+            w.at(0, i) = static_cast<std::int8_t>(
+                (signs >> i) & 1 ? -mags[i] : mags[i]);
+        EXPECT_EQ(engine.gemv(w, x).y, quant::gemvInt(w, x))
+            << "sign pattern " << signs;
+        EXPECT_EQ(engine.gemvTernary(w, x).y, quant::gemvInt(w, x))
+            << "ternary sign pattern " << signs;
+    }
+}
+
+TEST(Exhaustive, CodecAllFourBitColumns)
+{
+    // Every possible m=4 column pattern round-trips through the
+    // two-state code, alone and concatenated.
+    bitslice::BitPlane plane(4, 16);
+    for (std::size_t c = 0; c < 16; ++c)
+        for (std::size_t r = 0; r < 4; ++r)
+            plane.set(r, c, (c >> r) & 1);
+    bstc::BitWriter w;
+    bstc::encodePlane(plane, 4, w);
+    bstc::BitReader r(w.bytes(), w.bitCount());
+    EXPECT_TRUE(bstc::decodePlane(r, 4, 4, 16) == plane);
+}
+
+TEST(Exhaustive, CompressedWeightDegenerateShapes)
+{
+    // 1x1, 1xN, Nx1, and prime-sized shapes all round-trip.
+    Rng rng(5);
+    bstc::PlanePolicy policy = bstc::paperDefaultPolicy(7);
+    for (auto [rows, cols] :
+         {std::pair<std::size_t, std::size_t>{1, 1},
+          {1, 257},
+          {31, 1},
+          {13, 97},
+          {5, 1031}}) {
+        Int8Matrix m(rows, cols);
+        m.fill([&](std::size_t, std::size_t) {
+            return static_cast<std::int8_t>(
+                static_cast<std::int64_t>(rng.uniformInt(255)) - 127);
+        });
+        bstc::CompressedWeight cw(m, quant::BitWidth::Int8, 4, policy,
+                                  64);
+        EXPECT_EQ(cw.decompressToMatrix(), m)
+            << rows << "x" << cols;
+    }
+}
+
+TEST(Exhaustive, GemmRandomizedCoverAllGroupSizes)
+{
+    // Dense randomized cover over every supported group size with
+    // awkward (prime) shapes.
+    Rng rng(6);
+    for (std::size_t m = 1; m <= 12; ++m) {
+        Int8Matrix w(11, 53);
+        w.fill([&](std::size_t, std::size_t) {
+            return static_cast<std::int8_t>(
+                static_cast<std::int64_t>(rng.uniformInt(255)) - 127);
+        });
+        Int8Matrix x(53, 3);
+        x.fill([&](std::size_t, std::size_t) {
+            return static_cast<std::int8_t>(
+                static_cast<std::int64_t>(rng.uniformInt(255)) - 127);
+        });
+        brcr::BrcrEngine engine({m, quant::BitWidth::Int8});
+        EXPECT_EQ(engine.gemm(w, x).y, quant::gemmInt(w, x))
+            << "group size " << m;
+    }
+}
+
+} // namespace
+} // namespace mcbp

@@ -1,0 +1,144 @@
+/** @file Unit tests for quant/gemm: reference kernels and quant folding. */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "quant/calibration.hpp"
+#include "quant/gemm.hpp"
+
+namespace mcbp::quant {
+namespace {
+
+Int8Matrix
+randomInt8(std::uint64_t seed, std::size_t r, std::size_t c)
+{
+    Rng rng(seed);
+    Int8Matrix m(r, c);
+    m.fill([&](std::size_t, std::size_t) {
+        return static_cast<std::int8_t>(
+            static_cast<std::int64_t>(rng.uniformInt(255)) - 127);
+    });
+    return m;
+}
+
+TEST(Gemm, IntIdentity)
+{
+    Int8Matrix eye(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+        eye.at(i, i) = 1;
+    Int8Matrix x = randomInt8(1, 3, 4);
+    Int32Matrix y = gemmInt(eye, x);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(y.at(r, c), x.at(r, c));
+}
+
+TEST(Gemm, IntSmallKnown)
+{
+    Int8Matrix w(2, 2);
+    w.at(0, 0) = 1;
+    w.at(0, 1) = 2;
+    w.at(1, 0) = -3;
+    w.at(1, 1) = 4;
+    Int8Matrix x(2, 1);
+    x.at(0, 0) = 5;
+    x.at(1, 0) = -6;
+    Int32Matrix y = gemmInt(w, x);
+    EXPECT_EQ(y.at(0, 0), 5 - 12);
+    EXPECT_EQ(y.at(1, 0), -15 - 24);
+}
+
+TEST(Gemm, GemvMatchesGemm)
+{
+    Int8Matrix w = randomInt8(2, 16, 32);
+    Int8Matrix x = randomInt8(3, 32, 1);
+    std::vector<std::int8_t> xv(32);
+    for (std::size_t i = 0; i < 32; ++i)
+        xv[i] = x.at(i, 0);
+    Int32Matrix y = gemmInt(w, x);
+    std::vector<std::int32_t> yv = gemvInt(w, xv);
+    for (std::size_t r = 0; r < 16; ++r)
+        EXPECT_EQ(yv[r], y.at(r, 0));
+}
+
+TEST(Gemm, ShapeMismatchFatal)
+{
+    Int8Matrix w(2, 3), x(4, 2);
+    EXPECT_THROW(gemmInt(w, x), std::runtime_error);
+    EXPECT_THROW(gemvInt(w, std::vector<std::int8_t>(5)),
+                 std::runtime_error);
+    FloatMatrix a(2, 3), b(4, 2);
+    EXPECT_THROW(gemmF32(a, b), std::runtime_error);
+}
+
+TEST(Gemm, AccumulatorNoOverflowAtExtremes)
+{
+    // 127 * 127 * 4096 columns fits in int32: verify extreme case.
+    const std::size_t k = 4096;
+    Int8Matrix w(1, k, 127);
+    Int8Matrix x(k, 1, 127);
+    Int32Matrix y = gemmInt(w, x);
+    EXPECT_EQ(y.at(0, 0), 127 * 127 * static_cast<std::int32_t>(k));
+}
+
+TEST(Gemm, FoldedQuantMatchesF32Reference)
+{
+    Rng rng(7);
+    FloatMatrix w(16, 64), x(64, 8);
+    w.fill([&](std::size_t, std::size_t) {
+        return static_cast<float>(rng.gaussian(0.0, 0.05));
+    });
+    x.fill([&](std::size_t, std::size_t) {
+        return static_cast<float>(rng.gaussian(0.5, 1.0));
+    });
+    ErrorStats e = gemmQuantError(w, x, BitWidth::Int8);
+    EXPECT_GT(e.cosine, 0.999);
+    EXPECT_LT(e.relFrobenius, 0.02);
+}
+
+TEST(Gemm, FoldedQuantInt4Worse)
+{
+    Rng rng(8);
+    FloatMatrix w(16, 64), x(64, 8);
+    w.fill([&](std::size_t, std::size_t) {
+        return static_cast<float>(rng.gaussian(0.0, 0.05));
+    });
+    x.fill([&](std::size_t, std::size_t) {
+        return static_cast<float>(rng.gaussian(0.5, 1.0));
+    });
+    ErrorStats e8 = gemmQuantError(w, x, BitWidth::Int8);
+    ErrorStats e4 = gemmQuantError(w, x, BitWidth::Int4);
+    EXPECT_LT(e8.relFrobenius, e4.relFrobenius);
+}
+
+TEST(Gemm, ZeroPointFoldingExact)
+{
+    // With activations that force a non-zero zero-point, the folded bias
+    // must exactly cancel the Wq*Zx term: compare against dequantized
+    // operand GEMM.
+    Rng rng(9);
+    FloatMatrix w(8, 32), x(32, 4);
+    w.fill([&](std::size_t, std::size_t) {
+        return static_cast<float>(rng.gaussian(0.0, 0.1));
+    });
+    x.fill([&](std::size_t, std::size_t) {
+        return static_cast<float>(rng.uniform(2.0, 6.0)); // all-positive
+    });
+    QuantizedWeight qw = quantizeWeight(w, BitWidth::Int8);
+    QuantizedActivation qx = quantizeActivation(x);
+    EXPECT_NE(qx.params.zero, 0);
+    FloatMatrix folded = gemmQuantFolded(qw, qx);
+    FloatMatrix ref =
+        gemmF32(dequantizeWeight(qw), dequantizeActivation(qx));
+    ErrorStats e = compareTensors(ref, folded);
+    EXPECT_LT(e.maxAbs, 1e-2);
+    EXPECT_GT(e.cosine, 0.99999);
+}
+
+TEST(Gemm, MacsCount)
+{
+    EXPECT_EQ(gemmMacs(2, 3, 4), 24u);
+    EXPECT_EQ(gemmMacs(4096, 4096, 1), 16777216u);
+}
+
+} // namespace
+} // namespace mcbp::quant

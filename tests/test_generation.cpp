@@ -1,0 +1,121 @@
+/** @file Unit tests for model/generation: autoregressive fidelity. */
+#include <gtest/gtest.h>
+
+#include "bgpp/bgpp_predictor.hpp"
+#include "model/generation.hpp"
+
+namespace mcbp::model {
+namespace {
+
+KeySelector
+keepAll()
+{
+    return [](const std::vector<std::int8_t> &, const Int8Matrix &keys,
+              double) {
+        std::vector<std::uint32_t> all(keys.rows());
+        for (std::size_t j = 0; j < keys.rows(); ++j)
+            all[j] = static_cast<std::uint32_t>(j);
+        return all;
+    };
+}
+
+KeySelector
+bgppSelector(double alpha)
+{
+    return [alpha](const std::vector<std::int8_t> &q,
+                   const Int8Matrix &keys, double logit_scale) {
+        bgpp::BgppConfig cfg;
+        cfg.alpha = alpha;
+        cfg.logitScale = logit_scale;
+        bgpp::BgppPredictor pred(cfg);
+        return pred.predict(q, keys).selected;
+    };
+}
+
+TEST(Generation, RolloutShapes)
+{
+    GenerationConfig cfg;
+    cfg.decodeLen = 5;
+    TinyLlm llm(cfg);
+    FloatMatrix gen = llm.rollout(nullptr);
+    EXPECT_EQ(gen.rows(), 5u);
+    EXPECT_EQ(gen.cols(), cfg.hidden);
+}
+
+TEST(Generation, ReferenceRolloutDeterministic)
+{
+    GenerationConfig cfg;
+    cfg.seed = 42;
+    TinyLlm a(cfg), b(cfg);
+    EXPECT_EQ(a.rollout(nullptr), b.rollout(nullptr));
+}
+
+TEST(Generation, KeepAllSelectorTracksInt8)
+{
+    // Keeping every key isolates pure INT8 quantization drift, which
+    // stays high-cosine over the whole rollout.
+    GenerationConfig cfg;
+    cfg.decodeLen = 8;
+    TinyLlm llm(cfg);
+    KeySelector sel = keepAll();
+    GenerationResult res = llm.compareRollout(sel);
+    EXPECT_GT(res.meanCosine, 0.95);
+    EXPECT_GT(res.minCosine, 0.85);
+}
+
+TEST(Generation, ModeratePruningStaysFaithful)
+{
+    GenerationConfig cfg;
+    cfg.decodeLen = 8;
+    cfg.seed = 7;
+    TinyLlm llm(cfg);
+    KeySelector sel = bgppSelector(0.9);
+    GenerationResult res = llm.compareRollout(sel);
+    EXPECT_GT(res.meanCosine, 0.75);
+    EXPECT_EQ(res.stepCosine.size(), 8u);
+}
+
+TEST(Generation, AggressivePruningDegradesMore)
+{
+    // The Fig 24(a) mechanism: tighter alpha -> lower trajectory
+    // fidelity (on average over seeds).
+    double moderate = 0.0, aggressive = 0.0;
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        GenerationConfig cfg;
+        cfg.decodeLen = 6;
+        cfg.seed = seed;
+        TinyLlm llm(cfg);
+        KeySelector mod = bgppSelector(0.9);
+        KeySelector agg = bgppSelector(0.2);
+        moderate += llm.compareRollout(mod).meanCosine;
+        aggressive += llm.compareRollout(agg).meanCosine;
+    }
+    EXPECT_GE(moderate, aggressive - 0.02);
+}
+
+TEST(Generation, ErrorAccumulatesOverSteps)
+{
+    // Later steps should on average be no more faithful than the first
+    // step (divergence compounds through the feedback loop).
+    GenerationConfig cfg;
+    cfg.decodeLen = 10;
+    cfg.seed = 11;
+    TinyLlm llm(cfg);
+    KeySelector sel = bgppSelector(0.5);
+    GenerationResult res = llm.compareRollout(sel);
+    double late = 0.0;
+    for (std::size_t s = 5; s < 10; ++s)
+        late += res.stepCosine[s];
+    late /= 5.0;
+    EXPECT_LE(late, res.stepCosine[0] + 0.05);
+}
+
+TEST(Generation, InvalidConfigFatal)
+{
+    GenerationConfig cfg;
+    cfg.layers = 0;
+    EXPECT_THROW(TinyLlm{cfg}, std::runtime_error);
+}
+
+} // namespace
+} // namespace mcbp::model

@@ -1,0 +1,96 @@
+/** @file Unit tests for accel/gpu_model: the A100 roofline and the
+ *  software-on-GPU variants of Fig 21. */
+#include <gtest/gtest.h>
+
+#include "accel/gpu_model.hpp"
+
+namespace mcbp::accel {
+namespace {
+
+const model::LlmConfig &llama() { return model::findModel("Llama7B"); }
+
+TEST(GpuModel, Names)
+{
+    EXPECT_EQ(GpuA100Model().name(), "A100");
+    EXPECT_EQ(GpuA100Model({}, {true, false, false}).name(), "A100+sw[R]");
+    EXPECT_EQ(GpuA100Model({}, {true, true, true}).name(),
+              "A100+sw[RCP]");
+}
+
+TEST(GpuModel, PrefillComputeBoundOnLongPrompts)
+{
+    GpuA100Model gpu;
+    model::Workload w =
+        model::withLengths(model::findTask("Dolly"), 32768, 8);
+    RunMetrics r = gpu.run(llama(), w);
+    EXPECT_GT(r.prefill.gemmCycles,
+              r.prefill.weightLoadCycles + r.prefill.kvLoadCycles);
+}
+
+TEST(GpuModel, PrefillScalesWithPromptLength)
+{
+    GpuA100Model gpu;
+    model::Workload s1 =
+        model::withLengths(model::findTask("Wikitext2"), 1024, 16);
+    model::Workload s4 =
+        model::withLengths(model::findTask("Wikitext2"), 4096, 16);
+    EXPECT_GT(gpu.run(llama(), s4).prefill.cycles,
+              gpu.run(llama(), s1).prefill.cycles * 3.0);
+}
+
+TEST(GpuModel, DecodeTrafficAccountsWeightsPerToken)
+{
+    GpuA100Model gpu;
+    const model::Workload &task = model::findTask("MBPP");
+    RunMetrics r = gpu.run(llama(), task);
+    // Every decode token re-reads the full weights.
+    EXPECT_NEAR(r.decode.traffic.weightBytes,
+                static_cast<double>(llama().weightBytes()) *
+                    task.decodeLen,
+                r.decode.traffic.weightBytes * 0.01);
+}
+
+TEST(GpuModel, BstcSoftwareCutsWeightTraffic)
+{
+    GpuA100Model plain;
+    GpuA100Model with_c({}, {false, true, false});
+    const model::Workload &task = model::findTask("MBPP");
+    RunMetrics a = plain.run(llama(), task);
+    RunMetrics b = with_c.run(llama(), task);
+    EXPECT_LT(b.decode.traffic.weightBytes,
+              a.decode.traffic.weightBytes);
+    // But the decode-kernel inefficiency keeps the gain modest.
+    EXPECT_LT(speedupVs(b, a), 1.6);
+    EXPECT_GT(speedupVs(b, a), 1.0);
+}
+
+TEST(GpuModel, BgppSoftwareCutsKvTraffic)
+{
+    GpuA100Model plain;
+    GpuA100Model with_p({}, {false, false, true});
+    model::Workload long_ctx =
+        model::withLengths(model::findTask("Dolly"), 16384, 256);
+    RunMetrics a = plain.run(llama(), long_ctx);
+    RunMetrics b = with_p.run(llama(), long_ctx);
+    EXPECT_LT(b.decode.traffic.kvBytes, a.decode.traffic.kvBytes);
+}
+
+TEST(GpuModel, EnergyTracksTime)
+{
+    // Constant dynamic power: energy ratio equals time ratio.
+    GpuA100Model gpu;
+    RunMetrics a = gpu.run(llama(), model::findTask("Cola"));
+    RunMetrics b = gpu.run(llama(), model::findTask("Dolly"));
+    EXPECT_NEAR(b.joules() / a.joules(), b.seconds() / a.seconds(),
+                0.01 * b.seconds() / a.seconds());
+}
+
+TEST(GpuModel, InvalidParamsFatal)
+{
+    GpuParams p;
+    p.int8Tops = 0.0;
+    EXPECT_THROW(GpuA100Model{p}, std::runtime_error);
+}
+
+} // namespace
+} // namespace mcbp::accel

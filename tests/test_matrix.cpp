@@ -1,0 +1,85 @@
+/** @file Unit tests for common/matrix. */
+#include <gtest/gtest.h>
+
+#include "common/matrix.hpp"
+
+namespace mcbp {
+namespace {
+
+TEST(Matrix, DefaultEmpty)
+{
+    Int8Matrix m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ZeroInitialized)
+{
+    Int32Matrix m(3, 5);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 5u);
+    EXPECT_EQ(m.size(), 15u);
+    m.forEach([](std::size_t, std::size_t, std::int32_t v) {
+        EXPECT_EQ(v, 0);
+    });
+}
+
+TEST(Matrix, InitValue)
+{
+    FloatMatrix m(2, 2, 1.5f);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 1.5f);
+    EXPECT_FLOAT_EQ(m.at(1, 1), 1.5f);
+}
+
+TEST(Matrix, ReadWrite)
+{
+    Int8Matrix m(4, 4);
+    m.at(2, 3) = 42;
+    EXPECT_EQ(m.at(2, 3), 42);
+    EXPECT_EQ(m(2, 3), 42);
+    m(1, 0) = -7;
+    EXPECT_EQ(m.at(1, 0), -7);
+}
+
+TEST(Matrix, RowPtrContiguity)
+{
+    Int8Matrix m(3, 4);
+    for (std::size_t c = 0; c < 4; ++c)
+        m.at(1, c) = static_cast<std::int8_t>(c + 1);
+    const std::int8_t *row = m.rowPtr(1);
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_EQ(row[c], static_cast<std::int8_t>(c + 1));
+    EXPECT_EQ(m.rowPtr(2), m.rowPtr(0) + 8);
+}
+
+TEST(Matrix, FillGenerator)
+{
+    Int32Matrix m(3, 3);
+    m.fill([](std::size_t r, std::size_t c) {
+        return static_cast<std::int32_t>(r * 10 + c);
+    });
+    EXPECT_EQ(m.at(2, 1), 21);
+    EXPECT_EQ(m.at(0, 2), 2);
+}
+
+TEST(Matrix, Equality)
+{
+    Int8Matrix a(2, 2), b(2, 2);
+    EXPECT_EQ(a, b);
+    b.at(0, 1) = 1;
+    EXPECT_NE(a, b);
+    Int8Matrix c(2, 3);
+    EXPECT_NE(a, c);
+}
+
+TEST(Matrix, ForEachVisitsAll)
+{
+    Int8Matrix m(5, 7);
+    std::size_t count = 0;
+    m.forEach([&](std::size_t, std::size_t, std::int8_t) { ++count; });
+    EXPECT_EQ(count, 35u);
+}
+
+} // namespace
+} // namespace mcbp

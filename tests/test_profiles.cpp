@@ -1,0 +1,84 @@
+/** @file Unit tests for accel/profiles: measured workload statistics. */
+#include <gtest/gtest.h>
+
+#include "accel/profiles.hpp"
+
+namespace mcbp::accel {
+namespace {
+
+TEST(WeightProfile, RangesAreRealistic)
+{
+    const model::LlmConfig &m = model::findModel("Llama7B");
+    WeightStats ws = profileWeights(m, quant::BitWidth::Int8, 1);
+    // Fig 5(d)/Fig 25: value sparsity a few percent, bit sparsity ~0.7.
+    EXPECT_GT(ws.valueSparsity, 0.005);
+    EXPECT_LT(ws.valueSparsity, 0.2);
+    EXPECT_GT(ws.meanBitSparsity, 0.55);
+    EXPECT_LT(ws.meanBitSparsity, 0.92);
+    EXPECT_EQ(ws.planeSparsity.size(), 7u);
+    // BRCR must beat the sparse bit-serial reference per MAC.
+    EXPECT_LT(ws.brcrAddsPerMac, ws.bscAddsPerMac);
+    EXPECT_GT(ws.brcrAddsPerMac, 0.1);
+    // Fractions partition the adds.
+    EXPECT_GT(ws.mergeFraction, 0.0);
+    EXPECT_GT(ws.reconFraction, 0.0);
+    EXPECT_LT(ws.mergeFraction + ws.reconFraction, 1.01);
+    EXPECT_GT(ws.bstcCompressionRatio, 1.0);
+    EXPECT_GT(ws.bstcSymbolsPerByte, 0.0);
+}
+
+TEST(WeightProfile, DeterministicForSeed)
+{
+    const model::LlmConfig &m = model::findModel("OPT1B3");
+    WeightStats a = profileWeights(m, quant::BitWidth::Int8, 7);
+    WeightStats b = profileWeights(m, quant::BitWidth::Int8, 7);
+    EXPECT_DOUBLE_EQ(a.brcrAddsPerMac, b.brcrAddsPerMac);
+    EXPECT_DOUBLE_EQ(a.bstcCompressionRatio, b.bstcCompressionRatio);
+}
+
+TEST(WeightProfile, Int4SparserValues)
+{
+    // Fig 25(c): INT4 quantization raises value sparsity markedly.
+    const model::LlmConfig &m = model::findModel("Llama13B");
+    WeightStats w8 = profileWeights(m, quant::BitWidth::Int8, 3);
+    WeightStats w4 = profileWeights(m, quant::BitWidth::Int4, 3);
+    EXPECT_GT(w4.valueSparsity, w8.valueSparsity * 1.5);
+    EXPECT_EQ(w4.planeSparsity.size(), 3u);
+}
+
+TEST(AttentionProfile, RangesAreRealistic)
+{
+    const model::LlmConfig &m = model::findModel("Llama7B");
+    const model::Workload &t = model::findTask("Dolly");
+    AttentionStats as = profileAttention(m, t, 0.6, 1);
+    EXPECT_GT(as.bgppSelectedFraction, 0.01);
+    EXPECT_LT(as.bgppSelectedFraction, 0.6);
+    // BGPP prediction traffic sits below the 5-bit value baseline.
+    EXPECT_LT(as.bgppPredBitsPerElem, as.valuePredBitsPerElem);
+    EXPECT_GT(as.bgppPredBitsPerElem, 1.9); // at least sign+MSB round.
+    EXPECT_GT(as.bgppRecall, 0.75);
+}
+
+TEST(AttentionProfile, AlphaMonotone)
+{
+    const model::LlmConfig &m = model::findModel("Llama7B");
+    const model::Workload &t = model::findTask("MMLU");
+    AttentionStats strict = profileAttention(m, t, 0.3, 2);
+    AttentionStats loose = profileAttention(m, t, 0.8, 2);
+    EXPECT_LE(strict.bgppSelectedFraction,
+              loose.bgppSelectedFraction + 0.02);
+}
+
+TEST(AttentionProfile, LongContextSparser)
+{
+    // Dolly (concentration 0.10) prunes harder than Cola (0.25).
+    const model::LlmConfig &m = model::findModel("Llama7B");
+    AttentionStats dolly =
+        profileAttention(m, model::findTask("Dolly"), 0.6, 4);
+    AttentionStats cola =
+        profileAttention(m, model::findTask("Cola"), 0.6, 4);
+    EXPECT_LT(dolly.bgppSelectedFraction, cola.bgppSelectedFraction);
+}
+
+} // namespace
+} // namespace mcbp::accel

@@ -1,0 +1,170 @@
+/** @file Cross-cutting randomized property tests: invariants that must
+ *  hold across module boundaries for any seed. */
+#include <gtest/gtest.h>
+
+#include "accel/mcbp_accelerator.hpp"
+#include "bgpp/bgpp_predictor.hpp"
+#include "bgpp/topk_baseline.hpp"
+#include "brcr/brcr_engine.hpp"
+#include "bstc/compressed_weight.hpp"
+#include "bstc/value_codec.hpp"
+#include "common/rng.hpp"
+#include "model/synthetic.hpp"
+#include "quant/gemm.hpp"
+#include "sim/tiling.hpp"
+
+namespace mcbp {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeededProperty, ThreeWayGemvAgreement)
+{
+    // Reference integer GEMV, bit-serial SM GEMV and the BRCR engine
+    // must agree exactly on arbitrary inputs.
+    Rng rng(GetParam());
+    const std::size_t rows = 8 + rng.uniformInt(40);
+    const std::size_t cols = 16 + rng.uniformInt(300);
+    Int8Matrix w(rows, cols);
+    w.fill([&](std::size_t, std::size_t) {
+        return static_cast<std::int8_t>(
+            static_cast<std::int64_t>(rng.uniformInt(255)) - 127);
+    });
+    std::vector<std::int8_t> x(cols);
+    for (auto &v : x)
+        v = static_cast<std::int8_t>(
+            static_cast<std::int64_t>(rng.uniformInt(255)) - 127);
+
+    std::vector<std::int32_t> ref = quant::gemvInt(w, x);
+    bitslice::SignMagnitude sm =
+        bitslice::decompose(w, quant::BitWidth::Int8);
+    EXPECT_EQ(bitslice::bitSerialGemv(sm, x), ref);
+    brcr::BrcrEngine engine;
+    EXPECT_EQ(engine.gemv(w, x).y, ref);
+}
+
+TEST_P(SeededProperty, AllCompressorsAreLossless)
+{
+    Rng rng(GetParam() ^ 0xc0ffee);
+    model::WeightProfile profile;
+    profile.dynamicRange = 8.0 + rng.uniform() * 16.0;
+    quant::QuantizedWeight qw = model::synthesizeQuantizedWeight(
+        rng, 16 + rng.uniformInt(32), 64 + rng.uniformInt(256),
+        quant::BitWidth::Int8, profile);
+
+    bstc::CompressedWeight cw(qw.values, quant::BitWidth::Int8, 4,
+                              bstc::paperDefaultPolicy(7), 128);
+    EXPECT_EQ(cw.decompressToMatrix(), qw.values);
+    EXPECT_EQ(bstc::rleDecode(bstc::rleEncode(qw.values)), qw.values);
+    EXPECT_EQ(bstc::huffmanDecode(bstc::huffmanEncode(qw.values)),
+              qw.values);
+}
+
+TEST_P(SeededProperty, BgppTrafficBounds)
+{
+    // BGPP never fetches more than (rounds + sign) bits per element nor
+    // fewer than the first round's sign+MSB of every key.
+    Rng rng(GetParam() ^ 0xbeef);
+    const std::size_t s = 64 + rng.uniformInt(512);
+    const std::size_t d = 32;
+    model::AttentionSet set =
+        model::synthesizeAttention(rng, s, d, 0.1 + rng.uniform() * 0.2);
+    bgpp::BgppConfig cfg;
+    cfg.rounds = 4;
+    cfg.logitScale = set.logitScale;
+    bgpp::BgppPredictor pred(cfg);
+    bgpp::BgppResult r = pred.predict(set.query, set.keys);
+    const std::uint64_t elems = static_cast<std::uint64_t>(s) * d;
+    EXPECT_GE(r.bitsFetched, elems * 2);
+    EXPECT_LE(r.bitsFetched, elems * 5); // sign + 4 magnitude rounds.
+    EXPECT_GE(r.selected.size(), 1u);
+    EXPECT_LE(r.selected.size(), s);
+    // Selected indices are sorted and unique.
+    for (std::size_t i = 1; i < r.selected.size(); ++i)
+        EXPECT_LT(r.selected[i - 1], r.selected[i]);
+}
+
+TEST_P(SeededProperty, TopkFullBudgetKeepsAll)
+{
+    Rng rng(GetParam() ^ 0xfeed);
+    model::AttentionSet set = model::synthesizeAttention(rng, 100, 16, 0.2);
+    bgpp::TopkResult r = bgpp::valueTopk(set.query, set.keys, 100);
+    EXPECT_EQ(r.selected.size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u,
+                                           77u, 88u));
+
+// ---------------------------------------------------------------------
+// Accelerator-model monotonicity invariants.
+// ---------------------------------------------------------------------
+
+TEST(ModelInvariants, LongerDecodeCostsMore)
+{
+    accel::McbpAccelerator mcbp = accel::makeMcbpStandard();
+    const model::LlmConfig &m = model::findModel("Llama7B");
+    model::Workload short_d =
+        model::withLengths(model::findTask("MBPP"), 512, 64);
+    model::Workload long_d =
+        model::withLengths(model::findTask("MBPP"), 512, 256);
+    EXPECT_LT(mcbp.run(m, short_d).decode.cycles,
+              mcbp.run(m, long_d).decode.cycles);
+}
+
+TEST(ModelInvariants, LargerBatchCostsMoreButSubLinearly)
+{
+    accel::McbpAccelerator mcbp = accel::makeMcbpStandard();
+    const model::LlmConfig &m = model::findModel("Llama7B");
+    model::Workload b1 = model::findTask("MBPP");
+    b1.batch = 1;
+    model::Workload b8 = b1;
+    b8.batch = 8;
+    const double t1 = mcbp.run(m, b1).totalCycles();
+    const double t8 = mcbp.run(m, b8).totalCycles();
+    EXPECT_GT(t8, t1);
+    EXPECT_LT(t8, t1 * 8.0); // weights amortize across the batch.
+}
+
+TEST(ModelInvariants, MoreProcessorsFasterSameEnergyOrder)
+{
+    const model::LlmConfig &m = model::findModel("Llama7B");
+    const model::Workload &t = model::findTask("Wikilingua");
+    accel::RunMetrics one = accel::makeMcbpStandard(1).run(m, t);
+    accel::RunMetrics many = accel::makeMcbpStandard(16).run(m, t);
+    EXPECT_LT(many.totalCycles(), one.totalCycles());
+    // Total energy (summed over chips) stays within 2x: parallelism
+    // spreads, it does not multiply, the work.
+    EXPECT_NEAR(many.joules() / one.joules(), 1.0, 1.0);
+}
+
+TEST(ModelInvariants, PredictionNeverExceedsFullKvFetch)
+{
+    accel::McbpAccelerator mcbp = accel::makeMcbpStandard();
+    const model::LlmConfig &m = model::findModel("Llama7B");
+    const model::Workload &task = model::findTask("Dolly");
+    accel::RunMetrics r = mcbp.run(m, task);
+    const double full_kv =
+        static_cast<double>(m.kvReadBytesPerToken(
+            task.promptLen + task.decodeLen / 2)) *
+        task.decodeLen * task.batch;
+    EXPECT_LT(r.decode.traffic.predictionBytes, full_kv);
+    EXPECT_LT(r.decode.traffic.kvBytes, full_kv + full_kv);
+}
+
+TEST(ModelInvariants, TilePlanTrafficLowerBound)
+{
+    // The planned weight traffic can never drop below the compressed
+    // weight footprint.
+    sim::TilePlan p =
+        sim::planGemmTiling(sim::defaultConfig(), 4096, 4096, 1024, 1.25);
+    const double footprint = 4096.0 * 4096.0 / 1.25;
+    EXPECT_GE(static_cast<double>(p.weightStripeBytes) * p.gridM *
+                  p.weightRereadFactor,
+              footprint * 0.99);
+}
+
+} // namespace
+} // namespace mcbp

@@ -1,0 +1,127 @@
+/** @file Unit tests for common/rng: determinism and distribution sanity. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mcbp {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntervalRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage)
+{
+    Rng rng(9);
+    std::vector<int> hits(10, 0);
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = rng.uniformInt(10);
+        ASSERT_LT(v, 10u);
+        ++hits[v];
+    }
+    for (int h : hits)
+        EXPECT_GT(h, 1500); // ~2000 expected each
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfSkew)
+{
+    Rng rng(19);
+    std::vector<int> hits(100, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++hits[rng.zipf(100, 1.2)];
+    // Rank 0 must dominate rank 50 under a Zipf law.
+    EXPECT_GT(hits[0], hits[50] * 5);
+}
+
+TEST(Rng, ZipfBounds)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.zipf(7, 1.0), 7u);
+    EXPECT_EQ(rng.zipf(0, 1.0), 0u);
+}
+
+TEST(Rng, SplitIndependence)
+{
+    Rng parent(29);
+    Rng child = parent.split();
+    // Child stream differs from the parent's continued stream.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 4);
+}
+
+} // namespace
+} // namespace mcbp

@@ -1,0 +1,158 @@
+/** @file Unit tests for bitslice/sparsity: the paper's Fig 4/5 analyses. */
+#include <gtest/gtest.h>
+
+#include "bitslice/sparsity.hpp"
+#include "common/rng.hpp"
+#include "model/synthetic.hpp"
+
+namespace mcbp::bitslice {
+namespace {
+
+/** The paper's Fig 4(a) 2-bit example matrix (4 rows x 5 cols). */
+Int8Matrix
+fig4Matrix()
+{
+    // Values: row-major from the figure's 2-bit weights.
+    const int vals[4][5] = {{0, 3, 0, 0, 3},
+                            {0, 1, 0, 1, 3},
+                            {1, 3, 3, 1, 1},
+                            {1, 0, 1, 1, 2}};
+    Int8Matrix w(4, 5);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 5; ++c)
+            w.at(r, c) = static_cast<std::int8_t>(vals[r][c]);
+    return w;
+}
+
+TEST(Sparsity, Fig4ValueVsBitZeros)
+{
+    // Fig 4(a): 6 zero values; the MSB slice has 14 zeros (70% sparsity).
+    Int8Matrix w = fig4Matrix();
+    SparsityReport rep = analyzeSparsity(w, quant::BitWidth::Int4);
+    EXPECT_NEAR(rep.valueSparsity, 6.0 / 20.0, 1e-9);
+    // Plane 2 of an INT4 decomposition is the figure's MSB slice.
+    EXPECT_NEAR(rep.planeSparsity[1], 14.0 / 20.0, 1e-9);
+}
+
+TEST(Sparsity, AllZeroMatrix)
+{
+    Int8Matrix w(4, 4);
+    SparsityReport rep = analyzeSparsity(w, quant::BitWidth::Int8);
+    EXPECT_DOUBLE_EQ(rep.valueSparsity, 1.0);
+    EXPECT_DOUBLE_EQ(rep.meanBitSparsity, 1.0);
+    for (double s : rep.planeSparsity)
+        EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(Sparsity, BitSparsityExceedsValueSparsityOnGaussian)
+{
+    // The central claim of Fig 5(d): bit sparsity >> value sparsity.
+    Rng rng(1);
+    model::WeightProfile profile;
+    profile.dynamicRange = 16.0;
+    quant::QuantizedWeight qw = model::synthesizeQuantizedWeight(
+        rng, 64, 1024, quant::BitWidth::Int8, profile);
+    SparsityReport rep = analyzeSparsity(qw.values, quant::BitWidth::Int8);
+    EXPECT_GT(rep.meanBitSparsity, 5.0 * rep.valueSparsity);
+    EXPECT_GT(rep.meanBitSparsity, 0.55);
+    EXPECT_LT(rep.meanBitSparsity, 0.92);
+}
+
+TEST(Sparsity, HighPlanesSparser)
+{
+    // Gaussian-like weights: MSB magnitude plane sparser than LSB plane
+    // (the premise of BSTC's plane policy, Fig 8c).
+    Rng rng(2);
+    model::WeightProfile profile;
+    quant::QuantizedWeight qw = model::synthesizeQuantizedWeight(
+        rng, 64, 2048, quant::BitWidth::Int8, profile);
+    SparsityReport rep = analyzeSparsity(qw.values, quant::BitWidth::Int8);
+    EXPECT_GT(rep.planeSparsity[6], rep.planeSparsity[0]);
+    EXPECT_GT(rep.planeSparsity[6], 0.85);
+}
+
+TEST(Repetition, SmallerGroupsRepeatMore)
+{
+    // Fig 5(a): the pigeonhole effect — smaller m, higher repetition.
+    Rng rng(3);
+    BitPlane plane(16, 2048);
+    for (std::size_t r = 0; r < 16; ++r)
+        for (std::size_t c = 0; c < 2048; ++c)
+            plane.set(r, c, rng.bernoulli(0.3));
+    RepetitionReport m4 = measureRepetition(plane, 4);
+    RepetitionReport m8 = measureRepetition(plane, 8);
+    // Mergeability = 1 - distinct/total: zero columns are skipped
+    // outright and every duplicate of a seen pattern merges for free.
+    const auto mergeable = [](const RepetitionReport &r) {
+        return 1.0 - static_cast<double>(r.distinctColumns) /
+                         static_cast<double>(r.totalColumns);
+    };
+    EXPECT_GT(mergeable(m4), mergeable(m8));
+}
+
+TEST(Repetition, DistinctBoundedByPatternSpace)
+{
+    Rng rng(4);
+    BitPlane plane(4, 4096);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4096; ++c)
+            plane.set(r, c, rng.bernoulli(0.5));
+    RepetitionReport rep = measureRepetition(plane, 4);
+    // At most 15 distinct non-zero patterns per group (pigeonhole).
+    EXPECT_LE(rep.distinctColumns, 15u);
+    EXPECT_GT(rep.repeatedColumns(), 3000u);
+}
+
+TEST(Repetition, ZeroColumnsCounted)
+{
+    BitPlane plane(4, 10); // all zero
+    RepetitionReport rep = measureRepetition(plane, 4);
+    EXPECT_EQ(rep.zeroColumns, 10u);
+    EXPECT_EQ(rep.distinctColumns, 0u);
+    EXPECT_EQ(rep.repeatedColumns(), 0u);
+}
+
+TEST(MergeCost, GroupBeatsNaive)
+{
+    Rng rng(5);
+    BitPlane plane(32, 2048);
+    for (std::size_t r = 0; r < 32; ++r)
+        for (std::size_t c = 0; c < 2048; ++c)
+            plane.set(r, c, rng.bernoulli(0.3));
+    MergeCost cost = compareMergeStrategies(plane, 4);
+    EXPECT_LT(cost.groupMergeAdds, cost.naiveAdds);
+    // Fig 5(b): group-wise merge also beats the full-size merge.
+    EXPECT_LT(cost.groupMergeAdds, cost.fullMergeAdds);
+    // Dense accounting: dense >= sparse-naive; the vanilla full-size
+    // merge on a dense datapath barely improves on dense when
+    // full-column duplicates are rare (the pigeonhole argument).
+    EXPECT_EQ(cost.denseAdds, 32u * 2048u);
+    EXPECT_GT(cost.fullMergeDenseAdds, cost.denseAdds / 2);
+    EXPECT_LT(cost.groupMergeAdds, cost.fullMergeDenseAdds / 3);
+}
+
+TEST(MergeCost, FullMergeWinsOnDuplicatedColumns)
+{
+    // A plane made of one repeated column: full-size merge collapses it.
+    BitPlane plane(16, 256);
+    for (std::size_t r = 0; r < 16; r += 2)
+        for (std::size_t c = 0; c < 256; ++c)
+            plane.set(r, c, true);
+    MergeCost cost = compareMergeStrategies(plane, 4);
+    // naive: 8 ones per column x 256; full merge: 255 merge adds + 8.
+    EXPECT_EQ(cost.naiveAdds, 8u * 256u);
+    EXPECT_EQ(cost.fullMergeAdds, 255u + 8u);
+    EXPECT_LT(cost.fullMergeAdds, cost.naiveAdds);
+}
+
+TEST(MergeCost, EmptyPlaneCostsNothing)
+{
+    BitPlane plane(8, 64);
+    MergeCost cost = compareMergeStrategies(plane, 4);
+    EXPECT_EQ(cost.naiveAdds, 0u);
+    EXPECT_EQ(cost.fullMergeAdds, 0u);
+    EXPECT_EQ(cost.groupMergeAdds, 0u);
+}
+
+} // namespace
+} // namespace mcbp::bitslice

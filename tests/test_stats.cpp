@@ -1,0 +1,88 @@
+/** @file Unit tests for common/stats. */
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace mcbp {
+namespace {
+
+TEST(StatRegistry, AddAndGet)
+{
+    StatRegistry r;
+    EXPECT_EQ(r.get("x"), 0u);
+    EXPECT_FALSE(r.has("x"));
+    r.add("x", 5);
+    r.inc("x");
+    EXPECT_EQ(r.get("x"), 6u);
+    EXPECT_TRUE(r.has("x"));
+}
+
+TEST(StatRegistry, ClearKeepsNames)
+{
+    StatRegistry r;
+    r.add("a", 3);
+    r.clear();
+    EXPECT_TRUE(r.has("a"));
+    EXPECT_EQ(r.get("a"), 0u);
+}
+
+TEST(StatRegistry, Merge)
+{
+    StatRegistry a, b;
+    a.add("x", 1);
+    b.add("x", 2);
+    b.add("y", 3);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 3u);
+    EXPECT_EQ(a.get("y"), 3u);
+}
+
+TEST(StatRegistry, NamesSorted)
+{
+    StatRegistry r;
+    r.add("zeta", 1);
+    r.add("alpha", 1);
+    auto names = r.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(StatRegistry, ToStringContains)
+{
+    StatRegistry r;
+    r.add("adds", 42);
+    EXPECT_NE(r.toString().find("adds = 42"), std::string::npos);
+}
+
+TEST(RunningStat, Empty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStat, Accumulates)
+{
+    RunningStat s;
+    s.observe(1.0);
+    s.observe(3.0);
+    s.observe(-2.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), -2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    EXPECT_NEAR(s.mean(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat s;
+    s.observe(7.0);
+    EXPECT_DOUBLE_EQ(s.min(), 7.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+} // namespace
+} // namespace mcbp

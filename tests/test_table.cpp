@@ -1,0 +1,60 @@
+/** @file Unit tests for common/table and the formatting helpers. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace mcbp {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows)
+{
+    Table t({"A", "Bee"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("A"), std::string::npos);
+    EXPECT_NE(s.find("Bee"), std::string::npos);
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, CsvFormat)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, ArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(Format, Fmt)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Format, FmtPct)
+{
+    EXPECT_EQ(fmtPct(0.724), "72.4%");
+    EXPECT_EQ(fmtPct(1.0, 0), "100%");
+}
+
+TEST(Format, FmtX)
+{
+    EXPECT_EQ(fmtX(5.1, 1), "5.1x");
+    EXPECT_EQ(fmtX(31.1, 1), "31.1x");
+}
+
+} // namespace
+} // namespace mcbp

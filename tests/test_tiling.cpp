@@ -1,0 +1,137 @@
+/** @file Unit tests for sim/tiling, sim/layout and sim/layer_sim. */
+#include <gtest/gtest.h>
+
+#include "sim/layer_sim.hpp"
+#include "sim/layout.hpp"
+#include "sim/tiling.hpp"
+
+namespace mcbp::sim {
+namespace {
+
+TEST(Tiling, GridCoversProblem)
+{
+    TilePlan p = planGemmTiling(defaultConfig(), 4096, 4096, 2048);
+    EXPECT_EQ(p.tileM, 64u);
+    EXPECT_EQ(p.tileK, 256u);
+    EXPECT_EQ(p.tileN, 32u);
+    EXPECT_EQ(p.gridM, 64u);
+    EXPECT_EQ(p.gridK, 16u);
+    EXPECT_EQ(p.gridN, 64u);
+    EXPECT_EQ(p.totalTiles(), 64u * 16u * 64u);
+}
+
+TEST(Tiling, SmallProblemClampsTiles)
+{
+    TilePlan p = planGemmTiling(defaultConfig(), 32, 100, 8);
+    EXPECT_EQ(p.tileM, 32u);
+    EXPECT_EQ(p.tileK, 100u);
+    EXPECT_EQ(p.tileN, 8u);
+    EXPECT_EQ(p.totalTiles(), 1u);
+}
+
+TEST(Tiling, StripeResidencyAtPaperShapes)
+{
+    // TM=64 x K=4096 INT8 stripe = 256 kB: fits the 768 kB weight SRAM
+    // double-buffered; a 12288-wide stripe (Llama13B FFN) does not.
+    TilePlan fits = planGemmTiling(defaultConfig(), 4096, 4096, 32);
+    EXPECT_TRUE(fits.weightStripeResident);
+    EXPECT_DOUBLE_EQ(fits.weightRereadFactor, 1.0);
+    TilePlan spills = planGemmTiling(defaultConfig(), 5120, 13824, 4096);
+    EXPECT_FALSE(spills.weightStripeResident);
+    EXPECT_GT(spills.weightRereadFactor, 1.0);
+}
+
+TEST(Tiling, CompressionRestoresResidency)
+{
+    // BSTC compression shrinks the stripe back under the buffer limit.
+    TilePlan raw = planGemmTiling(defaultConfig(), 64, 8192, 64, 1.0);
+    TilePlan packed = planGemmTiling(defaultConfig(), 64, 8192, 64, 2.0);
+    EXPECT_GT(raw.weightStripeBytes, packed.weightStripeBytes);
+    EXPECT_LE(packed.weightRereadFactor, raw.weightRereadFactor);
+}
+
+TEST(Tiling, BadShapesFatal)
+{
+    EXPECT_THROW(planGemmTiling(defaultConfig(), 0, 4, 4),
+                 std::runtime_error);
+    EXPECT_THROW(planGemmTiling(defaultConfig(), 4, 4, 4, 0.0),
+                 std::runtime_error);
+}
+
+TEST(Layout, BitSliceBeatsValueForPartialFetch)
+{
+    // Fetching 2 planes of an 8-bit weight: the bit-slice layout touches
+    // 2/8 of the bytes; value layout touches everything (Fig 13 / the
+    // bit-reorder discussion of Fig 5c).
+    const McbpConfig &cfg = defaultConfig();
+    LayoutCost bs = bitSliceLayoutFetch(cfg, 1024, 4096, 2);
+    LayoutCost val = valueLayoutFetch(cfg, 1024, 4096, 2);
+    EXPECT_EQ(bs.bytesTouched, 1024u * 4096u / 8u * 2u);
+    EXPECT_EQ(val.bytesTouched, 1024u * 4096u);
+    EXPECT_LT(bs.rowActivations, val.rowActivations);
+    EXPECT_EQ(val.bytesTouched / bs.bytesTouched, 4u);
+}
+
+TEST(Layout, FullFetchEquivalent)
+{
+    // Fetching all 8 planes touches the same bytes either way.
+    const McbpConfig &cfg = defaultConfig();
+    LayoutCost bs = bitSliceLayoutFetch(cfg, 512, 512, 8);
+    LayoutCost val = valueLayoutFetch(cfg, 512, 512, 8);
+    EXPECT_EQ(bs.bytesTouched, val.bytesTouched);
+}
+
+TEST(Layout, BadPlaneCountFatal)
+{
+    EXPECT_THROW(bitSliceLayoutFetch(defaultConfig(), 4, 4, 0),
+                 std::runtime_error);
+    EXPECT_THROW(valueLayoutFetch(defaultConfig(), 4, 4, 9),
+                 std::runtime_error);
+}
+
+TEST(LayerSim, EmptyStream)
+{
+    TilePipelineResult r = simulateTilePipeline({});
+    EXPECT_EQ(r.totalCycles, 0.0);
+    EXPECT_EQ(r.tiles, 0u);
+}
+
+TEST(LayerSim, SingleTileIsSerial)
+{
+    TilePipelineResult r = simulateUniformTiles({10, 5, 20}, 1);
+    EXPECT_DOUBLE_EQ(r.totalCycles, 35.0);
+    EXPECT_DOUBLE_EQ(r.serialCycles, 35.0);
+    EXPECT_DOUBLE_EQ(r.overlapGain(), 1.0);
+}
+
+TEST(LayerSim, SteadyStateBoundByLongestStage)
+{
+    // Many uniform tiles: throughput approaches one tile per longest
+    // stage; compute utilization approaches compute/longest.
+    TilePipelineResult r = simulateUniformTiles({10, 5, 20}, 1000);
+    EXPECT_NEAR(r.totalCycles, 20.0 * 1000.0, 40.0);
+    EXPECT_NEAR(r.computeUtilization(), 1.0, 0.01);
+    EXPECT_NEAR(r.loadUtilization(), 0.5, 0.01);
+    EXPECT_NEAR(r.overlapGain(), 35.0 / 20.0, 0.01);
+}
+
+TEST(LayerSim, LoadBoundStream)
+{
+    TilePipelineResult r = simulateUniformTiles({30, 5, 10}, 500);
+    EXPECT_NEAR(r.loadUtilization(), 1.0, 0.01);
+    EXPECT_NEAR(r.computeUtilization(), 10.0 / 30.0, 0.01);
+}
+
+TEST(LayerSim, MixedTilesAccounting)
+{
+    std::vector<TileCosts> tiles = {{5, 5, 5}, {1, 10, 1}, {20, 1, 2}};
+    TilePipelineResult r = simulateTilePipeline(tiles);
+    EXPECT_DOUBLE_EQ(r.loadBusy, 26.0);
+    EXPECT_DOUBLE_EQ(r.decodeBusy, 16.0);
+    EXPECT_DOUBLE_EQ(r.computeBusy, 8.0);
+    EXPECT_GE(r.totalCycles, 26.0);       // load path lower bound
+    EXPECT_LE(r.totalCycles, r.serialCycles);
+}
+
+} // namespace
+} // namespace mcbp::sim

@@ -1,0 +1,106 @@
+/** @file Unit tests for bgpp/topk_baseline. */
+#include <gtest/gtest.h>
+
+#include "bgpp/topk_baseline.hpp"
+#include "common/rng.hpp"
+#include "model/synthetic.hpp"
+
+namespace mcbp::bgpp {
+namespace {
+
+TEST(ExactTopk, PicksLargestScores)
+{
+    // Keys aligned/anti-aligned with a unit query.
+    Int8Matrix keys(4, 2);
+    keys.at(0, 0) = 10;
+    keys.at(1, 0) = -10;
+    keys.at(2, 0) = 50;
+    keys.at(3, 0) = 1;
+    std::vector<std::int8_t> q = {1, 0};
+    TopkResult r = exactTopk(q, keys, 2);
+    ASSERT_EQ(r.selected.size(), 2u);
+    EXPECT_EQ(r.selected[0], 0u);
+    EXPECT_EQ(r.selected[1], 2u);
+    EXPECT_EQ(r.estimates[2], 50);
+}
+
+TEST(ExactTopk, KLargerThanSetKeepsAll)
+{
+    Int8Matrix keys(3, 2);
+    std::vector<std::int8_t> q = {1, 1};
+    TopkResult r = exactTopk(q, keys, 10);
+    EXPECT_EQ(r.selected.size(), 3u);
+}
+
+TEST(ExactTopk, TrafficAccounting)
+{
+    Int8Matrix keys(16, 8);
+    std::vector<std::int8_t> q(8, 1);
+    TopkResult r = exactTopk(q, keys, 4);
+    EXPECT_EQ(r.bitsFetched, 16u * 8u * 8u);
+    EXPECT_EQ(r.macs, 16u * 8u);
+}
+
+TEST(ValueTopk, FourBitTraffic)
+{
+    Int8Matrix keys(16, 8);
+    std::vector<std::int8_t> q(8, 1);
+    TopkResult r = valueTopk(q, keys, 4, 4);
+    EXPECT_EQ(r.bitsFetched, 16u * 8u * 5u); // 4 bits + sign
+}
+
+TEST(ValueTopk, EstimateUsesHighBits)
+{
+    // Keys distinguished only by low bits look identical to a 4-bit
+    // estimator; keys distinguished by high bits do not.
+    Int8Matrix keys(2, 1);
+    keys.at(0, 0) = 0b01110000;
+    keys.at(1, 0) = 0b01110111; // same top-4 magnitude bits
+    std::vector<std::int8_t> q = {1};
+    TopkResult r = valueTopk(q, keys, 1, 4);
+    EXPECT_EQ(r.estimates[0], r.estimates[1]);
+    keys.at(1, 0) = 0b00010111; // different high bits now
+    r = valueTopk(q, keys, 1, 4);
+    EXPECT_GT(r.estimates[0], r.estimates[1]);
+}
+
+TEST(ValueTopk, HighRecallOnSeparableSets)
+{
+    Rng rng(3);
+    model::AttentionSet set = model::synthesizeAttention(rng, 256, 64, 0.1);
+    TopkResult truth = exactTopk(set.query, set.keys, 26);
+    TopkResult value = valueTopk(set.query, set.keys, 26);
+    EXPECT_GT(recall(value.selected, truth.selected), 0.85);
+}
+
+TEST(ValueTopk, FullBitsEqualsExact)
+{
+    Rng rng(4);
+    model::AttentionSet set = model::synthesizeAttention(rng, 128, 32, 0.2);
+    TopkResult truth = exactTopk(set.query, set.keys, 16);
+    TopkResult full = valueTopk(set.query, set.keys, 16, 8);
+    EXPECT_EQ(full.selected, truth.selected);
+}
+
+TEST(Recall, Basics)
+{
+    EXPECT_DOUBLE_EQ(recall({1, 2, 3}, {1, 2, 3}), 1.0);
+    EXPECT_DOUBLE_EQ(recall({1, 2}, {1, 2, 3, 4}), 0.5);
+    EXPECT_DOUBLE_EQ(recall({}, {1}), 0.0);
+    EXPECT_DOUBLE_EQ(recall({5, 6}, {}), 1.0);
+    EXPECT_DOUBLE_EQ(recall({2, 4, 6}, {1, 3, 5}), 0.0);
+}
+
+TEST(Topk, BadShapesFatal)
+{
+    Int8Matrix keys(4, 8);
+    std::vector<std::int8_t> q(7);
+    EXPECT_THROW(exactTopk(q, keys, 2), std::runtime_error);
+    EXPECT_THROW(valueTopk(q, keys, 2), std::runtime_error);
+    std::vector<std::int8_t> q8(8);
+    EXPECT_THROW(valueTopk(q8, keys, 2, 0), std::runtime_error);
+    EXPECT_THROW(valueTopk(q8, keys, 2, 9), std::runtime_error);
+}
+
+} // namespace
+} // namespace mcbp::bgpp

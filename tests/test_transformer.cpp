@@ -1,0 +1,136 @@
+/** @file Unit tests for model/transformer: the fidelity-proxy substrate. */
+#include <gtest/gtest.h>
+
+#include "bgpp/bgpp_predictor.hpp"
+#include "bgpp/topk_baseline.hpp"
+#include "common/rng.hpp"
+#include "model/transformer.hpp"
+
+namespace mcbp::model {
+namespace {
+
+TransformerLayer
+makeLayer(std::uint64_t seed, std::size_t hidden = 64,
+          std::size_t heads = 4, std::size_t ffn = 128)
+{
+    Rng rng(seed);
+    WeightProfile profile;
+    profile.sigma = 0.08;
+    return TransformerLayer(randomLayer(rng, hidden, heads, ffn, profile));
+}
+
+FloatMatrix
+makeInput(std::uint64_t seed, std::size_t s, std::size_t h)
+{
+    Rng rng(seed ^ 0xabcdu);
+    return gaussianActivations(rng, s, h, 1.0);
+}
+
+TEST(Transformer, OutputShape)
+{
+    TransformerLayer layer = makeLayer(1);
+    FloatMatrix x = makeInput(1, 12, 64);
+    FloatMatrix y = layer.forwardF32(x);
+    EXPECT_EQ(y.rows(), 12u);
+    EXPECT_EQ(y.cols(), 64u);
+}
+
+TEST(Transformer, CausalityHolds)
+{
+    // Changing a future token must not affect earlier outputs.
+    TransformerLayer layer = makeLayer(2);
+    FloatMatrix x = makeInput(2, 8, 64);
+    FloatMatrix y1 = layer.forwardF32(x);
+    x.at(7, 3) += 5.0f; // perturb the last token only
+    FloatMatrix y2 = layer.forwardF32(x);
+    for (std::size_t s = 0; s < 7; ++s)
+        for (std::size_t i = 0; i < 64; ++i)
+            EXPECT_FLOAT_EQ(y1.at(s, i), y2.at(s, i));
+    // ... but the perturbed row itself moves.
+    double diff = 0.0;
+    for (std::size_t i = 0; i < 64; ++i)
+        diff += std::abs(y1.at(7, i) - y2.at(7, i));
+    EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Transformer, Int8CloseToF32)
+{
+    // The Table 2 premise: INT8 is near-lossless at the block level.
+    TransformerLayer layer = makeLayer(3);
+    FloatMatrix x = makeInput(3, 16, 64);
+    quant::ErrorStats e =
+        layerFidelity(layer.forwardF32(x), layer.forwardInt8(x));
+    EXPECT_GT(e.cosine, 0.99);
+    EXPECT_LT(e.relFrobenius, 0.12);
+}
+
+TEST(Transformer, OracleSelectorMatchesInt8)
+{
+    // Selecting *all* causal keys must reproduce forwardInt8 exactly.
+    TransformerLayer layer = makeLayer(4);
+    FloatMatrix x = makeInput(4, 10, 64);
+    KeySelector keep_all = [](const std::vector<std::int8_t> &,
+                              const Int8Matrix &keys, double) {
+        std::vector<std::uint32_t> all(keys.rows());
+        for (std::size_t j = 0; j < keys.rows(); ++j)
+            all[j] = static_cast<std::uint32_t>(j);
+        return all;
+    };
+    FloatMatrix a = layer.forwardInt8(x);
+    FloatMatrix b = layer.forwardPruned(x, keep_all);
+    quant::ErrorStats e = layerFidelity(a, b);
+    EXPECT_LT(e.maxAbs, 1e-5);
+}
+
+TEST(Transformer, BgppPrunedStaysClose)
+{
+    // End-to-end: BGPP-selected attention barely moves the block output
+    // (the MCBP standard-config claim).
+    TransformerLayer layer = makeLayer(5, 64, 4, 128);
+    FloatMatrix x = makeInput(5, 24, 64);
+    KeySelector bgpp_sel = [](const std::vector<std::int8_t> &q,
+                              const Int8Matrix &keys,
+                              double logit_scale) {
+        bgpp::BgppConfig cfg;
+        cfg.alpha = 0.8;
+        cfg.logitScale = logit_scale;
+        bgpp::BgppPredictor pred(cfg);
+        return pred.predict(q, keys).selected;
+    };
+    quant::ErrorStats e = layerFidelity(layer.forwardF32(x),
+                                        layer.forwardPruned(x, bgpp_sel));
+    EXPECT_GT(e.cosine, 0.94);
+}
+
+TEST(Transformer, TopkSelectorKeepsBudget)
+{
+    TransformerLayer layer = makeLayer(6);
+    FloatMatrix x = makeInput(6, 16, 64);
+    std::size_t max_seen = 0;
+    KeySelector topk_sel = [&](const std::vector<std::int8_t> &q,
+                               const Int8Matrix &keys, double) {
+        auto r = bgpp::valueTopk(q, keys, 4);
+        max_seen = std::max(max_seen, r.selected.size());
+        return r.selected;
+    };
+    FloatMatrix y = layer.forwardPruned(x, topk_sel);
+    EXPECT_LE(max_seen, 4u);
+    EXPECT_EQ(y.rows(), 16u);
+}
+
+TEST(Transformer, BadInputFatal)
+{
+    TransformerLayer layer = makeLayer(7);
+    FloatMatrix x(4, 32); // wrong width
+    EXPECT_THROW(layer.forwardF32(x), std::runtime_error);
+}
+
+TEST(Transformer, RandomLayerValidation)
+{
+    Rng rng(8);
+    EXPECT_THROW(randomLayer(rng, 0, 4, 16), std::runtime_error);
+    EXPECT_THROW(randomLayer(rng, 30, 4, 16), std::runtime_error);
+}
+
+} // namespace
+} // namespace mcbp::model
