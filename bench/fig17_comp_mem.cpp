@@ -11,10 +11,9 @@
  */
 #include <iostream>
 
-#include "accel/baselines.hpp"
-#include "accel/mcbp_accelerator.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "engine/registry.hpp"
 
 using namespace mcbp;
 
@@ -26,46 +25,40 @@ main()
 
     const model::Workload task = model::findTask("Wikilingua");
 
+    // One fleet, one shared profile cache, every design on equal data.
+    // Results are indexed by spec order, like fig23 — not by display
+    // name, which would couple the bench to the name() heuristics.
+    engine::Registry registry;
+    enum { kSofa, kSpatten, kFact, kBitwave, kFusekna, kEnergon, kMcbp };
+    auto fleet = registry.fleet({"sofa", "spatten", "fact", "bitwave",
+                                 "fusekna", "energon", "mcbp"});
+
     Table comp({"Model", "SOFA", "Spatten", "FACT", "Bitwave", "FuseKNA",
                 "MCBP"});
     Table mem({"Model", "FuseKNA", "FACT", "Spatten", "Energon", "Bitwave",
                "MCBP"});
 
     for (const auto &m : model::modelZoo()) {
-        accel::WeightStats ws =
-            accel::profileWeights(m, quant::BitWidth::Int8, 1);
-        accel::AttentionStats as = accel::profileAttention(m, task, 0.6, 1);
-        accel::McbpAccelerator mcbp = accel::makeMcbpStandard();
-        accel::RunMetrics rm = mcbp.run(m, task);
-
-        auto run = [&](const accel::BaselineTraits &tr) {
-            return accel::BaselineAccelerator(tr).run(m, task);
-        };
-        accel::RunMetrics sofa = run(accel::makeSofa(as));
-        accel::RunMetrics spatten = run(accel::makeSpatten(as));
-        accel::RunMetrics fact = run(accel::makeFact(as));
-        accel::RunMetrics bitwave = run(accel::makeBitwave(ws));
-        accel::RunMetrics fusekna = run(accel::makeFuseKna(ws));
-        accel::RunMetrics energon = run(accel::makeEnergon(as));
+        std::vector<accel::RunMetrics> runs;
+        for (const auto &accel : fleet)
+            runs.push_back(accel->run(m, task));
 
         // Computation: effective datapath ops in prefill, normalized to
         // SOFA (the paper's computation baseline).
-        const double base_c = sofa.prefill.executedAdds;
-        comp.addRow({m.name, fmt(1.0),
-                     fmt(spatten.prefill.executedAdds / base_c),
-                     fmt(fact.prefill.executedAdds / base_c),
-                     fmt(bitwave.prefill.executedAdds / base_c),
-                     fmt(fusekna.prefill.executedAdds / base_c),
-                     fmt(rm.prefill.executedAdds / base_c)});
+        const double base_c = runs[kSofa].prefill.executedAdds;
+        auto c = [&](std::size_t i) {
+            return fmt(runs[i].prefill.executedAdds / base_c);
+        };
+        comp.addRow({m.name, fmt(1.0), c(kSpatten), c(kFact),
+                     c(kBitwave), c(kFusekna), c(kMcbp)});
 
         // Memory: total decode-stage traffic, normalized to FuseKNA.
-        const double base_m = fusekna.decode.traffic.total();
-        mem.addRow({m.name, fmt(1.0),
-                    fmt(fact.decode.traffic.total() / base_m),
-                    fmt(spatten.decode.traffic.total() / base_m),
-                    fmt(energon.decode.traffic.total() / base_m),
-                    fmt(bitwave.decode.traffic.total() / base_m),
-                    fmt(rm.decode.traffic.total() / base_m)});
+        const double base_m = runs[kFusekna].decode.traffic.total();
+        auto d = [&](std::size_t i) {
+            return fmt(runs[i].decode.traffic.total() / base_m);
+        };
+        mem.addRow({m.name, fmt(1.0), d(kFact), d(kSpatten),
+                    d(kEnergon), d(kBitwave), d(kMcbp)});
     }
 
     std::cout << "\nNormalized computation (prefill, lower is better):\n";

@@ -9,10 +9,9 @@
  */
 #include <iostream>
 
-#include "accel/gpu_model.hpp"
-#include "accel/mcbp_accelerator.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "engine/registry.hpp"
 
 using namespace mcbp;
 
@@ -26,9 +25,10 @@ main()
     const std::vector<model::Workload> tasks = {
         model::findTask("Dolly"), model::findTask("Wikilingua"),
         model::findTask("MBPP")};
-    accel::GpuA100Model gpu;
-    accel::McbpAccelerator mcbp_s = accel::makeMcbpStandard(148);
-    accel::McbpAccelerator mcbp_a = accel::makeMcbpAggressive(148);
+    engine::Registry registry;
+    auto gpu = registry.make("a100");
+    auto mcbp_s = registry.make("mcbp:procs=148");
+    auto mcbp_a = registry.make("mcbp-aggressive:procs=148");
 
     Table t({"Model", "GPU B=128 vs B=8", "MCBP(S) speedup",
              "MCBP(A) speedup", "MCBP(S) eff. gain", "MCBP(A) eff. gain"});
@@ -41,10 +41,10 @@ main()
             b8.batch = 8;
             model::Workload b128 = task;
             b128.batch = 128;
-            accel::RunMetrics g8 = gpu.run(m, b8);
-            accel::RunMetrics g128 = gpu.run(m, b128);
-            accel::RunMetrics s = mcbp_s.run(m, b8);
-            accel::RunMetrics a = mcbp_a.run(m, b8);
+            accel::RunMetrics g8 = gpu->run(m, b8);
+            accel::RunMetrics g128 = gpu->run(m, b128);
+            accel::RunMetrics s = mcbp_s->run(m, b8);
+            accel::RunMetrics a = mcbp_a->run(m, b8);
             // B=128 carries 16x the tokens of B=8.
             batch_tput_gain += (g8.seconds() * 16.0) / g128.seconds();
             speed_s += accel::speedupVs(s, g8);
@@ -78,14 +78,14 @@ main()
                   "(Llama7B)");
     {
         const model::LlmConfig &m = model::findModel("Llama7B");
+        auto base = registry.make("mcbp-baseline");
+        auto full = registry.make("mcbp");
         Table t2({"Task", "Norm latency (value)", "Norm latency (MCBP)",
                   "Shift share of MCBP compute"});
         for (const char *name : {"Dolly", "Wikilingua"}) {
             const model::Workload &w = model::findTask(name);
-            accel::McbpAccelerator base = accel::makeMcbpBaseline();
-            accel::McbpAccelerator full = accel::makeMcbpStandard();
-            accel::RunMetrics rb = base.run(m, w);
-            accel::RunMetrics rf = full.run(m, w);
+            accel::RunMetrics rb = base->run(m, w);
+            accel::RunMetrics rf = full->run(m, w);
             // Shift-accumulate steering is ~15% of BRCR adds by
             // construction (see the energy model wiring).
             t2.addRow({name, fmt(1.0),

@@ -8,12 +8,12 @@
  * field; bit-reorder energy is large for FuseKNA (~30%) and Bitwave
  * (~18%) but ~3% for MCBP.
  */
+#include <algorithm>
 #include <iostream>
 
-#include "accel/baselines.hpp"
-#include "accel/mcbp_accelerator.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "engine/registry.hpp"
 
 using namespace mcbp;
 
@@ -21,9 +21,11 @@ int
 main()
 {
     const model::LlmConfig &m = model::findModel("Llama7B");
-    accel::WeightStats ws =
-        accel::profileWeights(m, quant::BitWidth::Int8, 1);
-    accel::McbpAccelerator mcbp = accel::makeMcbpStandard();
+
+    // SOFA first: it is the normalization baseline for both stages.
+    engine::Registry registry;
+    auto fleet = registry.fleet(
+        {"sofa", "spatten", "fact", "bitwave", "fusekna", "mcbp"});
 
     for (bool decode_stage : {false, true}) {
         bench::banner(std::string("Fig 23: ") +
@@ -34,8 +36,6 @@ main()
                  "Bit-reorder share"});
         for (const char *task_name : {"Dolly", "Wikilingua", "MBPP"}) {
             const model::Workload &task = model::findTask(task_name);
-            accel::AttentionStats as =
-                accel::profileAttention(m, task, 0.6, 1);
 
             struct Entry
             {
@@ -45,25 +45,14 @@ main()
                 double reorder;
             };
             std::vector<Entry> entries;
-            auto add = [&](const std::string &name,
-                           const accel::RunMetrics &r) {
+            for (const auto &accel : fleet) {
+                const accel::RunMetrics r = accel->run(m, task);
                 const auto &ph = decode_stage ? r.decode : r.prefill;
                 entries.push_back(
-                    {name, ph.cycles, ph.energy.totalPj(),
+                    {accel->name(), ph.cycles, ph.energy.totalPj(),
                      ph.energy.bitReorderPj /
                          std::max(1.0, ph.energy.totalPj())});
-            };
-            add("SOFA",
-                accel::BaselineAccelerator(accel::makeSofa(as)).run(m, task));
-            add("Spatten", accel::BaselineAccelerator(
-                               accel::makeSpatten(as)).run(m, task));
-            add("FACT",
-                accel::BaselineAccelerator(accel::makeFact(as)).run(m, task));
-            add("Bitwave", accel::BaselineAccelerator(
-                               accel::makeBitwave(ws)).run(m, task));
-            add("FuseKNA", accel::BaselineAccelerator(
-                               accel::makeFuseKna(ws)).run(m, task));
-            add("MCBP", mcbp.run(m, task));
+            }
 
             const double base_cycles = entries.front().cycles;
             const double base_energy = entries.front().energy;

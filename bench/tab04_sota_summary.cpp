@@ -10,10 +10,9 @@
  */
 #include <iostream>
 
-#include "accel/baselines.hpp"
-#include "accel/mcbp_accelerator.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "engine/registry.hpp"
 #include "sim/area_model.hpp"
 
 using namespace mcbp;
@@ -21,17 +20,25 @@ using namespace mcbp;
 int
 main()
 {
-    bench::banner("Table 1: capability summary");
+    engine::Registry registry;
+
+    bench::banner("Table 1: capability summary (from engine "
+                  "introspection; paper's 'low' entries shown as yes)");
     {
+        auto fleet = registry.fleet(
+            {"sanger", "energon", "spatten", "sofa", "fact", "mcbp"});
         Table t({"Accelerator", "GEMM", "Attention", "Weight", "KV cache",
                  "Stages", "Level"});
-        t.addRow({"A3/ELSA/Sanger/DOTA", "x", "yes", "x", "x", "P only",
-                  "Value"});
-        t.addRow({"Energon", "x", "yes", "x", "low", "P only", "Value"});
-        t.addRow({"SpAtten", "yes", "yes", "x", "low", "P&D", "Value"});
-        t.addRow({"SOFA", "x", "yes", "x", "yes", "P only", "Value"});
-        t.addRow({"FACT", "yes", "yes", "low", "x", "P only", "Value"});
-        t.addRow({"MCBP", "yes", "yes", "yes", "yes", "P&D", "Bit"});
+        auto yn = [](bool b) { return b ? "yes" : "x"; };
+        for (const auto &accel : fleet) {
+            const engine::Capabilities c = accel->capabilities();
+            t.addRow({accel->name(), yn(c.gemmOptimized),
+                      yn(c.attentionOptimized),
+                      yn(c.weightTrafficOptimized),
+                      yn(c.kvTrafficOptimized),
+                      c.decodeOptimized ? "P&D" : "P only",
+                      c.bitLevel ? "Bit" : "Value"});
+        }
         t.print(std::cout);
     }
 
@@ -40,20 +47,15 @@ main()
         // Measure MCBP on a decode+prefill mix (Wikilingua, Llama7B).
         const model::LlmConfig &m = model::findModel("Llama7B");
         const model::Workload &task = model::findTask("Wikilingua");
-        accel::McbpAccelerator mcbp = accel::makeMcbpStandard();
-        accel::RunMetrics rm = mcbp.run(m, task);
+        auto mcbp = registry.make("mcbp");
+        accel::RunMetrics rm = mcbp->run(m, task);
 
-        accel::WeightStats ws =
-            accel::profileWeights(m, quant::BitWidth::Int8, 1);
-        accel::AttentionStats as =
-            accel::profileAttention(m, task, 0.6, 1);
-        (void)ws;
-        auto eff = [&](const accel::BaselineTraits &tr) {
-            return accel::BaselineAccelerator(tr).run(m, task);
-        };
-        accel::RunMetrics spatten = eff(accel::makeSpatten(as));
-        accel::RunMetrics fact = eff(accel::makeFact(as));
-        accel::RunMetrics sofa = eff(accel::makeSofa(as));
+        auto spatten_a = registry.make("spatten");
+        auto fact_a = registry.make("fact");
+        auto sofa_a = registry.make("sofa");
+        accel::RunMetrics spatten = spatten_a->run(m, task);
+        accel::RunMetrics fact = fact_a->run(m, task);
+        accel::RunMetrics sofa = sofa_a->run(m, task);
 
         Table t({"Design", "Area [mm^2]", "GOPS (measured)",
                  "GOPS/W (measured)", "MCBP efficiency adv."});

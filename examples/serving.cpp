@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Serving-engine demo: a 48-request Poisson trace (Llama7B, MBPP-style
+ * code-generation requests with jittered lengths) pushed through the continuous-
+ * batching ServingSimulator on three platforms from the registry —
+ * the A100 roofline and MCBP standard/aggressive at the paper's
+ * 148-processor scale — plus a batching ablation on MCBP.
+ *
+ * Prints per-request latency percentiles, aggregate tokens/s and
+ * J/token, the knobs a serving deployment actually cares about
+ * (Fig 20-style throughput/efficiency, but under load).
+ */
+#include <iostream>
+
+#include "common/table.hpp"
+#include "engine/registry.hpp"
+#include "engine/serving.hpp"
+
+using namespace mcbp;
+
+int
+main()
+{
+    // --- The trace: 48 generation requests arriving at 8 req/s ----------
+    model::TraceConfig tc;
+    tc.model = "Llama7B";
+    tc.task = "MBPP"; // code generation: decode-heavy, batching-friendly
+    tc.requests = 48;
+    tc.arrivalsPerSecond = 8.0;
+    tc.lengthJitter = 0.5;
+    tc.seed = 7;
+    const std::vector<model::Request> trace = model::synthesizeTrace(tc);
+    std::cout << "Trace: " << trace.size() << " requests, Poisson "
+              << tc.arrivalsPerSecond << " req/s, " << tc.model << "/"
+              << tc.task
+              << ", lengths jittered +/-" << tc.lengthJitter * 100.0
+              << "%\n";
+
+    // --- The fleet ------------------------------------------------------
+    engine::Registry registry;
+    const std::vector<std::string> specs = {
+        "a100", "mcbp:procs=148", "mcbp-aggressive:procs=148"};
+    auto fleet = registry.fleet(specs);
+
+    Table t({"Accelerator", "p50 [s]", "p90 [s]", "p99 [s]", "mean [s]",
+             "tok/s", "mJ/token", "mean batch", "batching gain"});
+    for (const auto &accel : fleet) {
+        engine::ServingSimulator sim(*accel, {/*maxBatch=*/32});
+        const engine::ServingReport r = sim.simulate(trace);
+        t.addRow({r.accelerator, fmt(r.p50LatencySeconds, 3),
+                  fmt(r.p90LatencySeconds, 3), fmt(r.p99LatencySeconds, 3),
+                  fmt(r.meanLatencySeconds, 3),
+                  fmt(r.tokensPerSecond, 0),
+                  fmt(r.joulesPerToken * 1e3, 2),
+                  fmt(r.meanBatchOccupancy, 1),
+                  fmtX(r.batchingSpeedup())});
+    }
+    std::cout << "\nServing the trace (continuous batching, maxBatch "
+                 "32):\n";
+    t.print(std::cout);
+
+    // --- Batching ablation on MCBP --------------------------------------
+    auto mcbp = registry.make("mcbp:procs=148");
+    Table t2({"maxBatch", "p99 [s]", "tok/s", "engine busy [s]",
+              "batching gain"});
+    for (std::size_t b : {1u, 4u, 16u, 32u}) {
+        engine::ServingSimulator sim(*mcbp, {b});
+        const engine::ServingReport r = sim.simulate(trace);
+        t2.addRow({fmt(static_cast<double>(b), 0),
+                   fmt(r.p99LatencySeconds, 3), fmt(r.tokensPerSecond, 0),
+                   fmt(r.busySeconds, 3), fmtX(r.batchingSpeedup())});
+    }
+    std::cout << "\nContinuous-batch size ablation (MCBP, 148 "
+                 "processors):\n";
+    t2.print(std::cout);
+    std::cout << "\nBatching amortizes the decode weight stream across "
+                 "in-flight requests; the gain saturates once the "
+                 "per-request KV/compute work dominates the iteration.\n";
+    return 0;
+}

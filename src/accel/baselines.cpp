@@ -145,18 +145,6 @@ makeCambriconC(const WeightStats &ws4)
     return t;
 }
 
-struct BaselineAccelerator::PhaseInput
-{
-    const model::LlmConfig *model = nullptr;
-    double batch = 1.0;
-    double queries = 0.0;
-    double context = 0.0;
-    double steps = 1.0;
-    bool weightResident = false;
-    bool kvOnChipTiling = false;
-    bool decodePhase = false;
-};
-
 BaselineAccelerator::BaselineAccelerator(BaselineTraits traits,
                                          sim::McbpConfig hw)
     : traits_(std::move(traits)), hw_(hw)
@@ -164,15 +152,15 @@ BaselineAccelerator::BaselineAccelerator(BaselineTraits traits,
 }
 
 PhaseMetrics
-BaselineAccelerator::simulatePhase(const PhaseInput &in) const
+BaselineAccelerator::simulatePhase(const PhasePlan &plan,
+                                   const model::LlmConfig &m) const
 {
-    const model::LlmConfig &m = *in.model;
     const BaselineTraits &t = traits_;
     const double layers = static_cast<double>(m.layers);
     const double hidden = static_cast<double>(m.hidden);
 
     // Prefill-only designs lose their sparsity mechanisms in decode.
-    const bool opts_on = !in.decodePhase || t.decodeOptimized;
+    const bool opts_on = !plan.decodePhase || t.decodeOptimized;
     const double lin_frac = opts_on ? t.linearComputeFraction : 1.0;
     const double attn_frac = opts_on ? t.attnComputeFraction : 1.0;
     const double kv_sel = opts_on ? t.kvSelectedFraction : 1.0;
@@ -188,7 +176,7 @@ BaselineAccelerator::simulatePhase(const PhaseInput &in) const
     // expressed in MAC-lane cycles on that budget.
     constexpr double kBitAddsPerMacArea = 8.0;
     const double lin_macs = static_cast<double>(m.paramsPerLayer()) *
-                            t.weightPruneFraction * in.queries * in.batch;
+                            t.weightPruneFraction * plan.queries * plan.batch;
     const double lin_adds =
         lin_macs * lin_frac * t.linearAddsPerMac / kBitAddsPerMacArea;
     const double lane_macs_per_cycle =
@@ -203,22 +191,16 @@ BaselineAccelerator::simulatePhase(const PhaseInput &in) const
         hbm.read(static_cast<std::uint64_t>(weight_bytes), 0.9).cycles;
 
     const double act_bytes = (2.0 * hidden + static_cast<double>(m.ffn)) *
-                             in.queries * in.batch;
+                             plan.queries * plan.batch;
     const double act_cycles = act_bytes / hbm.bytesPerCycle();
 
     // Attention portion.
-    double kv_sweeps = 1.0;
-    if (in.kvOnChipTiling) {
-        const double q_tile_rows = std::max(
-            64.0, static_cast<double>(hw_.tokenSramKb) * 1024.0 /
-                      (4.0 * hidden));
-        kv_sweeps = std::max(1.0, in.queries * in.batch / q_tile_rows);
-    }
-    const double pair_elems = in.queries * in.context * hidden * in.batch;
+    const double kv_sweeps = kvSweeps(hw_, plan, hidden);
+    const double pair_elems = plan.queries * plan.context * hidden * plan.batch;
     const double pred_bytes =
-        pred_bits > 0.0 ? in.context * hidden * (pred_bits / 8.0) *
+        pred_bits > 0.0 ? plan.context * hidden * (pred_bits / 8.0) *
                               kv_sweeps *
-                              (in.kvOnChipTiling ? 1.0 : in.batch)
+                              (plan.kvOnChipTiling ? 1.0 : plan.batch)
                         : 0.0;
     const double pred_macs = pred_bits > 0.0 ? pair_elems / 2.0 : 0.0;
     const double pred_cycles = std::max(
@@ -226,22 +208,22 @@ BaselineAccelerator::simulatePhase(const PhaseInput &in) const
         pred_bytes / hbm.bytesPerCycle());
 
     const double attn_macs =
-        2.0 * in.queries * in.context * hidden * in.batch * attn_frac;
+        2.0 * plan.queries * plan.context * hidden * plan.batch * attn_frac;
     const double attn_cycles = attn_macs / lane_macs_per_cycle;
-    const double kv_bytes = 2.0 * in.context * hidden * kv_sel * kv_sweeps *
-                                (in.kvOnChipTiling ? 1.0 : in.batch) +
-                            2.0 * hidden * in.queries * in.batch;
+    const double kv_bytes = 2.0 * plan.context * hidden * kv_sel * kv_sweeps *
+                                (plan.kvOnChipTiling ? 1.0 : plan.batch) +
+                            2.0 * hidden * plan.queries * plan.batch;
     const double kv_cycles =
         hbm.read(static_cast<std::uint64_t>(kv_bytes), 0.5).cycles;
 
     const double sfu_ops =
-        in.queries * in.context * attn_frac * in.batch * 2.0 +
-        6.0 * in.queries * in.batch * hidden;
+        plan.queries * plan.context * attn_frac * plan.batch * 2.0 +
+        6.0 * plan.queries * plan.batch * hidden;
     const double sfu_cycles = sfu_ops / 64.0;
 
     sim::StageCycles stages;
-    stages.weightLoad = in.weightResident
-                            ? weight_load_cycles / std::max(1.0, in.steps)
+    stages.weightLoad = plan.weightResident
+                            ? weight_load_cycles / std::max(1.0, plan.steps)
                             : weight_load_cycles;
     stages.linearCompute = lin_compute_cycles;
     stages.prediction = pred_cycles;
@@ -249,32 +231,36 @@ BaselineAccelerator::simulatePhase(const PhaseInput &in) const
     stages.attention = attn_cycles;
     stages.sfu = sfu_cycles;
     stages.actLoad = act_cycles;
-    const sim::LayerLatency lat = sim::composeLayer(stages);
+    const sim::LayerLatency lat = sim::composeLayer(stages, hw_);
 
     PhaseMetrics out;
-    out.cycles = lat.totalCycles * layers * in.steps;
+    out.cycles = lat.totalCycles * layers * plan.steps;
     out.denseMacs =
-        (static_cast<double>(m.paramsPerLayer()) * in.queries * in.batch +
-         2.0 * in.queries * in.context * hidden * in.batch) *
-        layers * in.steps;
+        (static_cast<double>(m.paramsPerLayer()) * plan.queries * plan.batch +
+         2.0 * plan.queries * plan.context * hidden * plan.batch) *
+        layers * plan.steps;
     out.executedAdds =
         (lin_adds * kBitAddsPerMacArea + attn_macs * kBitAddsPerMacArea +
-         pred_macs) * layers * in.steps;
+         pred_macs) * layers * plan.steps;
 
-    out.gemmCycles = lin_compute_cycles * layers * in.steps;
+    out.gemmCycles = lin_compute_cycles * layers * plan.steps;
     out.weightLoadCycles =
         std::max(0.0, (lat.linearPart - lin_compute_cycles)) * layers *
-        in.steps;
-    out.kvLoadCycles = lat.attentionPart * layers * in.steps;
-    out.otherCycles = lat.exposedSfu * layers * in.steps;
+        plan.steps;
+    out.kvLoadCycles = lat.attentionPart * layers * plan.steps;
+    out.otherCycles = lat.exposedSfu * layers * plan.steps;
+    out.weightStreamCycles = stages.weightLoad * layers * plan.steps;
+    out.linearWorkCycles =
+        std::max(stages.linearCompute, stages.actLoad) * layers *
+        plan.steps;
 
     out.traffic.weightBytes =
-        weight_bytes * layers * (in.weightResident ? 1.0 : in.steps);
-    out.traffic.predictionBytes = pred_bytes * layers * in.steps;
-    out.traffic.kvBytes = kv_bytes * layers * in.steps;
-    out.traffic.actBytes = act_bytes * layers * in.steps;
+        weight_bytes * layers * (plan.weightResident ? 1.0 : plan.steps);
+    out.traffic.predictionBytes = pred_bytes * layers * plan.steps;
+    out.traffic.kvBytes = kv_bytes * layers * plan.steps;
+    out.traffic.actBytes = act_bytes * layers * plan.steps;
 
-    const double steps_l = layers * in.steps;
+    const double steps_l = layers * plan.steps;
     sim::EnergyBreakdown &e = out.energy;
     e.computePj =
         energy.macsEnergy(static_cast<std::uint64_t>(
@@ -300,38 +286,10 @@ RunMetrics
 BaselineAccelerator::run(const model::LlmConfig &model,
                          const model::Workload &task) const
 {
-    RunMetrics rm;
-    rm.accelerator = traits_.name;
-    rm.modelName = model.name;
-    rm.taskName = task.name;
-    rm.clockGhz = hw_.clockGhz;
-    rm.processors = 1;
-
-    PhaseInput pre;
-    pre.model = &model;
-    pre.batch = static_cast<double>(task.batch);
-    pre.queries = static_cast<double>(task.promptLen);
-    pre.context = static_cast<double>(task.promptLen) / 2.0;
-    pre.steps = 1.0;
-    pre.weightResident = true;
-    pre.kvOnChipTiling = true;
-    pre.decodePhase = false;
-    rm.prefill = simulatePhase(pre);
-
-    if (task.decodeLen > 0) {
-        PhaseInput dec;
-        dec.model = &model;
-        dec.batch = static_cast<double>(task.batch);
-        dec.queries = 1.0;
-        dec.context = static_cast<double>(task.promptLen) +
-                      static_cast<double>(task.decodeLen) / 2.0;
-        dec.steps = static_cast<double>(task.decodeLen);
-        dec.weightResident = false;
-        dec.kvOnChipTiling = false;
-        dec.decodePhase = true;
-        rm.decode = simulatePhase(dec);
-    }
-    return rm;
+    return composeRun(traits_.name, model, task, hw_.clockGhz, 1,
+                      [&](const PhasePlan &plan) {
+                          return simulatePhase(plan, model);
+                      });
 }
 
 } // namespace mcbp::accel

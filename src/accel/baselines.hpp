@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "accel/phase_plan.hpp"
 #include "accel/profiles.hpp"
 #include "accel/report.hpp"
 #include "model/llm_config.hpp"
@@ -85,8 +86,8 @@ class BaselineAccelerator
                    const model::Workload &task) const;
 
   private:
-    struct PhaseInput;
-    PhaseMetrics simulatePhase(const PhaseInput &in) const;
+    PhaseMetrics simulatePhase(const PhasePlan &plan,
+                               const model::LlmConfig &model) const;
 
     BaselineTraits traits_;
     sim::McbpConfig hw_;

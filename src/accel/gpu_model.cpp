@@ -103,6 +103,14 @@ GpuA100Model::run(const model::LlmConfig &m, const model::Workload &task,
         ph.otherCycles = other_sec * p_.clockGhz * 1e9;
         ph.weightLoadCycles =
             std::max(0.0, ph.cycles - ph.gemmCycles - ph.otherCycles);
+        // The roofline serializes all memory traffic, so the
+        // per-request stream is the whole phase minus the (shareable)
+        // weight stream — see report.hpp.
+        ph.memorySerialized = true;
+        ph.weightStreamCycles = ph.traffic.weightBytes / bw *
+                                p_.clockGhz * 1e9;
+        ph.linearWorkCycles = std::max(
+            0.0, ph.cycles - ph.otherCycles - ph.weightStreamCycles);
         ph.energy.computePj = sec * p_.dynamicWatts * 1e12 * 0.6;
         ph.energy.dramPj = sec * p_.dynamicWatts * 1e12 * 0.4;
     }
@@ -146,6 +154,12 @@ GpuA100Model::run(const model::LlmConfig &m, const model::Workload &task,
         ph.gemmCycles = std::max(
             0.0, ph.cycles - ph.weightLoadCycles - ph.kvLoadCycles -
                      ph.otherCycles);
+        // Serialized memory: per-request stream = phase minus the
+        // shareable weight stream (see report.hpp).
+        ph.memorySerialized = true;
+        ph.weightStreamCycles = weight_bytes / bw * p_.clockGhz * 1e9;
+        ph.linearWorkCycles = std::max(
+            0.0, ph.cycles - ph.otherCycles - ph.weightStreamCycles);
         ph.energy.computePj = sec * p_.dynamicWatts * 1e12 * 0.35;
         ph.energy.dramPj = sec * p_.dynamicWatts * 1e12 * 0.65;
     }

@@ -56,6 +56,9 @@ class GpuA100Model
 
     std::string name() const;
 
+    const GpuParams &params() const { return p_; }
+    const GpuSoftwareOptions &software() const { return sw_; }
+
     RunMetrics run(const model::LlmConfig &model,
                    const model::Workload &task,
                    const WeightStats &ws, const AttentionStats &as) const;

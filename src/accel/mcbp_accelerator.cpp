@@ -18,23 +18,13 @@ constexpr double kAttnAddsPerMac = 3.15; // 7 planes x (1 - 0.55).
 
 } // namespace
 
-struct McbpAccelerator::PhaseInput
-{
-    const model::LlmConfig *model = nullptr;
-    const WeightStats *ws = nullptr;
-    const AttentionStats *as = nullptr;
-    double batch = 1.0;
-    double queries = 0.0;   ///< Tokens producing queries this phase.
-    double context = 0.0;   ///< Average attention context length.
-    double steps = 1.0;     ///< Phase repetitions (decode tokens).
-    bool weightResident = false; ///< Prefill reuses weights across tokens.
-    bool kvOnChipTiling = false; ///< Prefill streams KV via SRAM tiles.
-};
-
-McbpAccelerator::McbpAccelerator(sim::McbpConfig hw, McbpOptions opts)
-    : hw_(hw), opts_(opts)
+McbpAccelerator::McbpAccelerator(sim::McbpConfig hw, McbpOptions opts,
+                                 std::shared_ptr<ProfileCache> profiles)
+    : hw_(hw), opts_(opts), profiles_(std::move(profiles))
 {
     fatalIf(opts_.processors == 0, "processor count must be positive");
+    if (!profiles_)
+        profiles_ = makeProfileCache();
 }
 
 std::string
@@ -58,38 +48,22 @@ McbpAccelerator::name() const
 const WeightStats &
 McbpAccelerator::weightStats(const model::LlmConfig &model) const
 {
-    auto it = weightCache_.find(model.name);
-    if (it == weightCache_.end()) {
-        it = weightCache_
-                 .emplace(model.name,
-                          profileWeights(model, opts_.bitWidth, opts_.seed))
-                 .first;
-    }
-    return it->second;
+    return profiles_->weights(model, opts_.bitWidth, opts_.seed);
 }
 
 const AttentionStats &
 McbpAccelerator::attentionStats(const model::LlmConfig &model,
                                 const model::Workload &task) const
 {
-    const std::string key = model.name + "/" + task.name + "/" +
-                            std::to_string(opts_.alpha);
-    auto it = attnCache_.find(key);
-    if (it == attnCache_.end()) {
-        it = attnCache_
-                 .emplace(key, profileAttention(model, task, opts_.alpha,
-                                                opts_.seed))
-                 .first;
-    }
-    return it->second;
+    return profiles_->attention(model, task, opts_.alpha, opts_.seed);
 }
 
 PhaseMetrics
-McbpAccelerator::simulatePhase(const PhaseInput &in) const
+McbpAccelerator::simulatePhase(const PhasePlan &plan,
+                               const model::LlmConfig &m,
+                               const WeightStats &ws,
+                               const AttentionStats &as) const
 {
-    const model::LlmConfig &m = *in.model;
-    const WeightStats &ws = *in.ws;
-    const AttentionStats &as = *in.as;
     const double procs = static_cast<double>(opts_.processors);
     const double layers = static_cast<double>(m.layers);
     const double hidden = static_cast<double>(m.hidden);
@@ -100,7 +74,7 @@ McbpAccelerator::simulatePhase(const PhaseInput &in) const
 
     // ---- Linear (QKV / O / FFN) portion, per layer per step -------------
     const double lin_macs = static_cast<double>(m.paramsPerLayer()) *
-                            in.queries * in.batch / procs;
+                            plan.queries * plan.batch / procs;
     // Without BRCR the fabric degrades to sparsity-aware bit-serial
     // computing (zero bits skipped, no cross-vector merging) — the
     // paper's ablation baseline.
@@ -114,7 +88,7 @@ McbpAccelerator::simulatePhase(const PhaseInput &in) const
         lin_work.reconAdds = lin_adds * ws.reconFraction;
         // CAM searches amortize over the activation tile columns.
         const double amortize = std::max(
-            1.0, std::min(in.queries * in.batch,
+            1.0, std::min(plan.queries * plan.batch,
                           static_cast<double>(hw_.tileN)));
         lin_work.camSearches = ws.camSearchesPerMac * lin_macs / amortize;
         lin_work.camLoads = lin_macs / amortize;
@@ -149,14 +123,14 @@ McbpAccelerator::simulatePhase(const PhaseInput &in) const
 
     // Activation traffic per layer per step.
     const double act_bytes = (2.0 * hidden + static_cast<double>(m.ffn)) *
-                             in.queries * in.batch / procs;
+                             plan.queries * plan.batch / procs;
     const double act_cycles =
         static_cast<double>(act_bytes) / hbm.bytesPerCycle();
 
     // ---- Attention portion ----------------------------------------------
     // Prediction scans all (query, key) pairs at reduced precision.
     const double pair_elems =
-        in.queries * in.context * hidden * in.batch / procs;
+        plan.queries * plan.context * hidden * plan.batch / procs;
     const double pred_bits_per_elem = opts_.enableBgpp
                                           ? as.bgppPredBitsPerElem
                                           : as.valuePredBitsPerElem;
@@ -165,23 +139,17 @@ McbpAccelerator::simulatePhase(const PhaseInput &in) const
 
     // KV residency: prefill tiles K/V through the token SRAM (re-reads
     // scale with query tiling); decode streams the cache per token.
-    double kv_sweeps = 1.0;
-    if (in.kvOnChipTiling) {
-        const double q_tile_rows = std::max(
-            64.0, static_cast<double>(hw_.tokenSramKb) * 1024.0 /
-                      (4.0 * hidden));
-        kv_sweeps = std::max(1.0, in.queries * in.batch / q_tile_rows);
-    }
-    const double pred_bytes = in.context * hidden *
+    const double kv_sweeps = kvSweeps(hw_, plan, hidden);
+    const double pred_bytes = plan.context * hidden *
                               (pred_bits_per_elem / 8.0) * kv_sweeps *
-                              (in.kvOnChipTiling ? 1.0 : in.batch) / procs;
+                              (plan.kvOnChipTiling ? 1.0 : plan.batch) / procs;
     const double pred_bit_macs =
         opts_.enableBgpp ? pair_elems * as.bgppBitMacsPerElem
                          : pair_elems; // 4-bit estimate ~ 1 op/elem.
     const double pred_compute_cycles =
         opts_.enableBgpp
-            ? fabric.bgppCycles({pred_bit_macs, in.queries * in.batch *
-                                                    in.context / procs})
+            ? fabric.bgppCycles({pred_bit_macs, plan.queries * plan.batch *
+                                                    plan.context / procs})
             : fabric.denseMacCycles(pair_elems / 2.0);
     const double pred_load_cycles =
         static_cast<double>(pred_bytes) / hbm.bytesPerCycle();
@@ -190,31 +158,31 @@ McbpAccelerator::simulatePhase(const PhaseInput &in) const
 
     // Formal sparse attention over the selected keys.
     const double attn_macs =
-        2.0 * in.queries * in.context * hidden * in.batch * selected /
+        2.0 * plan.queries * plan.context * hidden * plan.batch * selected /
         procs;
     const double attn_adds = attn_macs * kAttnAddsPerMac;
     const double attn_cycles = fabric.brcrCycles({attn_adds, 0, 0, 0});
-    const double kv_bytes = 2.0 * in.context * hidden * selected *
+    const double kv_bytes = 2.0 * plan.context * hidden * selected *
                                 kv_sweeps *
-                                (in.kvOnChipTiling ? 1.0 : in.batch) /
+                                (plan.kvOnChipTiling ? 1.0 : plan.batch) /
                                 procs +
-                            2.0 * hidden * in.queries * in.batch / procs;
+                            2.0 * hidden * plan.queries * plan.batch / procs;
     const double kv_cycles =
         hbm.read(static_cast<std::uint64_t>(kv_bytes), 0.5).cycles;
 
     // SFU: softmax over selected scores + norms/activation functions.
-    const double sfu_ops = in.queries * in.context * selected * in.batch *
+    const double sfu_ops = plan.queries * plan.context * selected * plan.batch *
                                2.0 / procs +
-                           6.0 * in.queries * in.batch * hidden / procs;
+                           6.0 * plan.queries * plan.batch * hidden / procs;
     const double sfu_cycles = sfu_ops / 64.0; // 64-lane FP16 SFU.
 
     // ---- Compose the layer ----------------------------------------------
     sim::StageCycles stages;
-    stages.weightLoad = in.weightResident
-                            ? weight_load_cycles / std::max(1.0, in.steps)
+    stages.weightLoad = plan.weightResident
+                            ? weight_load_cycles / std::max(1.0, plan.steps)
                             : weight_load_cycles;
-    stages.weightDecode = in.weightResident
-                              ? decode_cycles / std::max(1.0, in.steps)
+    stages.weightDecode = plan.weightResident
+                              ? decode_cycles / std::max(1.0, plan.steps)
                               : decode_cycles;
     stages.linearCompute = lin_compute_cycles;
     stages.prediction = pred_cycles;
@@ -222,40 +190,50 @@ McbpAccelerator::simulatePhase(const PhaseInput &in) const
     stages.attention = attn_cycles;
     stages.sfu = sfu_cycles;
     stages.actLoad = act_cycles;
-    const sim::LayerLatency lat = sim::composeLayer(stages);
+    const sim::LayerLatency lat = sim::composeLayer(stages, hw_);
 
     PhaseMetrics out;
-    out.cycles = lat.totalCycles * layers * in.steps;
-    out.denseMacs = (lin_macs + 2.0 * in.queries * in.context * hidden *
-                                    in.batch / procs) *
-                    layers * in.steps * procs;
+    out.cycles = lat.totalCycles * layers * plan.steps;
+    out.denseMacs = (lin_macs + 2.0 * plan.queries * plan.context * hidden *
+                                    plan.batch / procs) *
+                    layers * plan.steps * procs;
     out.executedAdds = (lin_adds + attn_adds + pred_bit_macs) * layers *
-                       in.steps * procs;
+                       plan.steps * procs;
 
     // Latency attribution (Fig 1a / Fig 19 style): the linear segment is
-    // charged to whichever pipeline stage bounds it.
-    if (stages.weightLoad >= stages.linearCompute &&
-        stages.weightLoad >= stages.weightDecode &&
-        stages.weightLoad >= stages.actLoad) {
-        out.weightLoadCycles = lat.linearPart * layers * in.steps;
+    // charged to whichever pipeline stage bounds it. HBM load and BSTC
+    // decode are both weight-path stages (delivering weights to the
+    // PEs); their cost is per weight stream, not per batched token —
+    // the serving engine relies on this split to amortize them.
+    const double weight_path =
+        std::max(stages.weightLoad, stages.weightDecode);
+    if (weight_path >= stages.linearCompute &&
+        weight_path >= stages.actLoad) {
+        out.weightLoadCycles = lat.linearPart * layers * plan.steps;
         out.gemmCycles = 0.0;
     } else {
-        out.gemmCycles = lat.linearPart * layers * in.steps;
+        out.gemmCycles = lat.linearPart * layers * plan.steps;
         out.weightLoadCycles = 0.0;
     }
-    out.kvLoadCycles = lat.attentionPart * layers * in.steps;
-    out.otherCycles = lat.exposedSfu * layers * in.steps;
+    out.kvLoadCycles = lat.attentionPart * layers * plan.steps;
+    out.otherCycles = lat.exposedSfu * layers * plan.steps;
+    out.weightStreamCycles =
+        std::max(stages.weightLoad, stages.weightDecode) * layers *
+        plan.steps;
+    out.linearWorkCycles =
+        std::max(stages.linearCompute, stages.actLoad) * layers *
+        plan.steps;
 
     // Traffic (whole phase, per processor).
     const double weight_traffic =
-        weight_bytes * layers * (in.weightResident ? 1.0 : in.steps);
+        weight_bytes * layers * (plan.weightResident ? 1.0 : plan.steps);
     out.traffic.weightBytes = weight_traffic;
-    out.traffic.predictionBytes = pred_bytes * layers * in.steps;
-    out.traffic.kvBytes = kv_bytes * layers * in.steps;
-    out.traffic.actBytes = act_bytes * layers * in.steps;
+    out.traffic.predictionBytes = pred_bytes * layers * plan.steps;
+    out.traffic.kvBytes = kv_bytes * layers * plan.steps;
+    out.traffic.actBytes = act_bytes * layers * plan.steps;
 
     // Energy.
-    const double steps_l = layers * in.steps;
+    const double steps_l = layers * plan.steps;
     sim::EnergyBreakdown &e = out.energy;
     e.computePj = energy.addsEnergy(static_cast<std::uint64_t>(
                       (lin_adds + attn_adds) * steps_l)) +
@@ -269,7 +247,7 @@ McbpAccelerator::simulatePhase(const PhaseInput &in) const
                          : weight_bytes_raw;
     e.codecPj = energy.codecEnergy(
         static_cast<std::uint64_t>(decode_symbols * steps_l *
-                                   (in.weightResident ? 1.0 / in.steps
+                                   (plan.weightResident ? 1.0 / plan.steps
                                                       : 1.0)));
     // BGPP spends 1-bit AND/adder-tree ops; the value-level baseline
     // spends a 4-bit x 8-bit MAC per key element.
@@ -287,7 +265,7 @@ McbpAccelerator::simulatePhase(const PhaseInput &in) const
     e.sramPj = energy.sramEnergy(
                    static_cast<std::uint64_t>(
                        (weight_bytes_raw *
-                            (in.weightResident ? 1.0 : in.steps) * layers +
+                            (plan.weightResident ? 1.0 : plan.steps) * layers +
                         2.0 * (out.traffic.actBytes +
                                out.traffic.kvBytes))),
                    true) +
@@ -301,7 +279,7 @@ McbpAccelerator::simulatePhase(const PhaseInput &in) const
     if (!opts_.enableBstc) {
         const double raw_traffic =
             weight_bytes_raw * layers *
-            (in.weightResident ? 1.0 : in.steps);
+            (plan.weightResident ? 1.0 : plan.steps);
         e.bitReorderPj = energy.bitReorderEnergy(
             static_cast<std::uint64_t>(raw_traffic * 8.0));
     }
@@ -314,45 +292,10 @@ McbpAccelerator::run(const model::LlmConfig &model,
 {
     const WeightStats &ws = weightStats(model);
     const AttentionStats &as = attentionStats(model, task);
-
-    RunMetrics rm;
-    rm.accelerator = name();
-    rm.modelName = model.name;
-    rm.taskName = task.name;
-    rm.clockGhz = hw_.clockGhz;
-    rm.processors = opts_.processors;
-
-    // Prefill: all prompt tokens at once, weights resident per layer,
-    // KV tiled through SRAM. Average causal context = S/2.
-    PhaseInput pre;
-    pre.model = &model;
-    pre.ws = &ws;
-    pre.as = &as;
-    pre.batch = static_cast<double>(task.batch);
-    pre.queries = static_cast<double>(task.promptLen);
-    pre.context = static_cast<double>(task.promptLen) / 2.0;
-    pre.steps = 1.0;
-    pre.weightResident = true;
-    pre.kvOnChipTiling = true;
-    rm.prefill = simulatePhase(pre);
-
-    // Decode: one token per step, weights re-fetched every token,
-    // KV cache streamed from HBM. Average context = S + D/2.
-    if (task.decodeLen > 0) {
-        PhaseInput dec;
-        dec.model = &model;
-        dec.ws = &ws;
-        dec.as = &as;
-        dec.batch = static_cast<double>(task.batch);
-        dec.queries = 1.0;
-        dec.context = static_cast<double>(task.promptLen) +
-                      static_cast<double>(task.decodeLen) / 2.0;
-        dec.steps = static_cast<double>(task.decodeLen);
-        dec.weightResident = false;
-        dec.kvOnChipTiling = false;
-        rm.decode = simulatePhase(dec);
-    }
-    return rm;
+    return composeRun(name(), model, task, hw_.clockGhz, opts_.processors,
+                      [&](const PhasePlan &plan) {
+                          return simulatePhase(plan, model, ws, as);
+                      });
 }
 
 McbpAccelerator

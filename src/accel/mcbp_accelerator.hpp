@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
 
+#include "accel/phase_plan.hpp"
+#include "accel/profile_cache.hpp"
 #include "accel/profiles.hpp"
 #include "accel/report.hpp"
 #include "model/llm_config.hpp"
@@ -41,8 +43,14 @@ struct McbpOptions
 class McbpAccelerator
 {
   public:
-    explicit McbpAccelerator(sim::McbpConfig hw = sim::defaultConfig(),
-                             McbpOptions opts = {});
+    /**
+     * @param profiles shared profile cache; nullptr allocates a private
+     * one. Copies of this accelerator share the same (thread-safe)
+     * cache, as do all accelerators built by one engine::Registry.
+     */
+    explicit McbpAccelerator(
+        sim::McbpConfig hw = sim::defaultConfig(), McbpOptions opts = {},
+        std::shared_ptr<ProfileCache> profiles = nullptr);
 
     const sim::McbpConfig &hardware() const { return hw_; }
     const McbpOptions &options() const { return opts_; }
@@ -62,14 +70,21 @@ class McbpAccelerator
     attentionStats(const model::LlmConfig &model,
                    const model::Workload &task) const;
 
+    /** The (thread-safe) profile cache backing this accelerator. */
+    const std::shared_ptr<ProfileCache> &profileCache() const
+    {
+        return profiles_;
+    }
+
   private:
-    struct PhaseInput;
-    PhaseMetrics simulatePhase(const PhaseInput &in) const;
+    PhaseMetrics simulatePhase(const PhasePlan &plan,
+                               const model::LlmConfig &model,
+                               const WeightStats &ws,
+                               const AttentionStats &as) const;
 
     sim::McbpConfig hw_;
     McbpOptions opts_;
-    mutable std::map<std::string, WeightStats> weightCache_;
-    mutable std::map<std::string, AttentionStats> attnCache_;
+    std::shared_ptr<ProfileCache> profiles_;
 };
 
 /** Paper's "standard" configuration (alpha 0.6, all techniques). */

@@ -1,0 +1,51 @@
+#include "accel/phase_plan.hpp"
+
+#include <algorithm>
+
+namespace mcbp::accel {
+
+PhasePlan
+prefillPlan(const model::Workload &task)
+{
+    // All prompt tokens at once, weights resident per layer, KV tiled
+    // through SRAM. Average causal context = S/2.
+    PhasePlan p;
+    p.batch = static_cast<double>(task.batch);
+    p.queries = static_cast<double>(task.promptLen);
+    p.context = static_cast<double>(task.promptLen) / 2.0;
+    p.steps = 1.0;
+    p.weightResident = true;
+    p.kvOnChipTiling = true;
+    p.decodePhase = false;
+    return p;
+}
+
+PhasePlan
+decodePlan(const model::Workload &task)
+{
+    // One token per step, weights re-fetched every token, KV cache
+    // streamed from HBM. Average context = S + D/2.
+    PhasePlan p;
+    p.batch = static_cast<double>(task.batch);
+    p.queries = 1.0;
+    p.context = static_cast<double>(task.promptLen) +
+                static_cast<double>(task.decodeLen) / 2.0;
+    p.steps = static_cast<double>(task.decodeLen);
+    p.weightResident = false;
+    p.kvOnChipTiling = false;
+    p.decodePhase = true;
+    return p;
+}
+
+double
+kvSweeps(const sim::McbpConfig &hw, const PhasePlan &plan, double hidden)
+{
+    if (!plan.kvOnChipTiling)
+        return 1.0;
+    const double q_tile_rows =
+        std::max(64.0, static_cast<double>(hw.tokenSramKb) * 1024.0 /
+                           (4.0 * hidden));
+    return std::max(1.0, plan.queries * plan.batch / q_tile_rows);
+}
+
+} // namespace mcbp::accel

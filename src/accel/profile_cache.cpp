@@ -1,0 +1,100 @@
+#include "accel/profile_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace mcbp::accel {
+
+namespace {
+
+std::string
+weightKey(const model::LlmConfig &model, quant::BitWidth bw,
+          std::uint64_t seed)
+{
+    return model.name + "/" + std::to_string(static_cast<int>(bw)) + "/" +
+           std::to_string(seed);
+}
+
+/**
+ * profileAttention() depends on the workload only through the clamped
+ * context min(2048, max(64, promptLen)) and the task's attention
+ * concentration, so the cache keys on those — not the task name —
+ * and profiles a canonical power-of-two context per bucket. Serving
+ * traces with jittered per-request lengths then share a handful of
+ * deterministic entries instead of aliasing whatever length was
+ * profiled first (the zoo tasks' nominal lengths are already powers
+ * of two, so figure benches see bit-identical stats).
+ */
+std::size_t
+contextBucket(std::size_t prompt_len)
+{
+    const std::size_t ctx = std::min<std::size_t>(
+        2048, std::max<std::size_t>(64, prompt_len));
+    return std::bit_ceil(ctx);
+}
+
+std::string
+attentionKey(const model::LlmConfig &model, const model::Workload &task,
+             double alpha, std::uint64_t seed)
+{
+    return model.name + "/ctx" +
+           std::to_string(contextBucket(task.promptLen)) + "/conc" +
+           std::to_string(task.attentionConcentration) + "/" +
+           std::to_string(alpha) + "/" + std::to_string(seed);
+}
+
+} // namespace
+
+const WeightStats &
+ProfileCache::weights(const model::LlmConfig &model, quant::BitWidth bw,
+                      std::uint64_t seed)
+{
+    const std::string key = weightKey(model, bw, seed);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = weights_.find(key);
+        if (it != weights_.end())
+            return it->second;
+    }
+    // Profile outside the lock: it is the expensive part, and two threads
+    // racing on the same key produce identical (deterministic) stats.
+    WeightStats ws = profileWeights(model, bw, seed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return weights_.emplace(key, std::move(ws)).first->second;
+}
+
+const AttentionStats &
+ProfileCache::attention(const model::LlmConfig &model,
+                        const model::Workload &task, double alpha,
+                        std::uint64_t seed)
+{
+    const std::string key = attentionKey(model, task, alpha, seed);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = attention_.find(key);
+        if (it != attention_.end())
+            return it->second;
+    }
+    // Profile the bucket's canonical context so every workload mapping
+    // to this key gets identical stats (racing threads included).
+    model::Workload canonical = task;
+    canonical.promptLen = contextBucket(task.promptLen);
+    AttentionStats as = profileAttention(model, canonical, alpha, seed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return attention_.emplace(key, std::move(as)).first->second;
+}
+
+std::size_t
+ProfileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return weights_.size() + attention_.size();
+}
+
+std::shared_ptr<ProfileCache>
+makeProfileCache()
+{
+    return std::make_shared<ProfileCache>();
+}
+
+} // namespace mcbp::accel

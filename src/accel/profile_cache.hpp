@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Thread-safe cache of measured workload profiles (WeightStats /
+ * AttentionStats). Profiling synthesizes tiles and runs the functional
+ * BRCR/BSTC/BGPP engines, which is orders of magnitude more expensive
+ * than the analytic cycle model consuming the result — so every
+ * accelerator instance and every serving request should share one cache.
+ *
+ * The cache is keyed by everything profiling depends on (model, bit
+ * width, alpha, seed, task), guarded by a mutex so concurrent serving
+ * simulation and parallel benches are safe. Entries are never evicted;
+ * std::map guarantees reference stability, so returned references stay
+ * valid for the cache's lifetime even while other threads insert.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "accel/profiles.hpp"
+#include "model/llm_config.hpp"
+#include "model/workload.hpp"
+#include "quant/quantizer.hpp"
+
+namespace mcbp::accel {
+
+/** Shared, mutex-guarded profile store. */
+class ProfileCache
+{
+  public:
+    /** Weight profile of @p model (computed once per key). */
+    const WeightStats &weights(const model::LlmConfig &model,
+                               quant::BitWidth bw, std::uint64_t seed);
+
+    /** Attention profile of (@p model, @p task) at @p alpha. */
+    const AttentionStats &attention(const model::LlmConfig &model,
+                                    const model::Workload &task,
+                                    double alpha, std::uint64_t seed);
+
+    /** Number of cached entries (weights + attention), for tests. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, WeightStats> weights_;
+    std::map<std::string, AttentionStats> attention_;
+};
+
+/** A fresh cache wrapped for sharing across accelerator instances. */
+std::shared_ptr<ProfileCache> makeProfileCache();
+
+} // namespace mcbp::accel

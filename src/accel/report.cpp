@@ -16,6 +16,8 @@ PhaseMetrics::merge(const PhaseMetrics &o)
     weightLoadCycles += o.weightLoadCycles;
     kvLoadCycles += o.kvLoadCycles;
     otherCycles += o.otherCycles;
+    weightStreamCycles += o.weightStreamCycles;
+    linearWorkCycles += o.linearWorkCycles;
 }
 
 double

@@ -51,6 +51,21 @@ struct PhaseMetrics
     double weightLoadCycles = 0.0;
     double kvLoadCycles = 0.0;
     double otherCycles = 0.0;
+    /**
+     * Raw cycles of the two linear-segment streams, for schedulers
+     * that re-compose the phase at other batch sizes: the weight
+     * stream (HBM load + decompression; shared by every request
+     * decoding a step) and the per-request linear work (GEMM compute,
+     * activation/KV traffic). `memorySerialized` names the composition
+     * rule the model used, so a scheduler can invert it exactly:
+     *   false (pipelined; MCBP, SOTA baselines):
+     *       linear segment = max(weightStreamCycles, linearWorkCycles)
+     *   true (serialized memory; the GPU roofline):
+     *       linear segment = weightStreamCycles + linearWorkCycles
+     */
+    double weightStreamCycles = 0.0;
+    double linearWorkCycles = 0.0;
+    bool memorySerialized = false;
 
     void merge(const PhaseMetrics &o);
 };

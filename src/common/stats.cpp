@@ -1,6 +1,10 @@
 #include "common/stats.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
+
+#include "common/logging.hpp"
 
 namespace mcbp {
 
@@ -75,6 +79,25 @@ double
 RunningStat::mean() const
 {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    std::sort(samples.begin(), samples.end());
+    return percentileSorted(samples, p);
+}
+
+double
+percentileSorted(const std::vector<double> &sorted, double p)
+{
+    fatalIf(sorted.empty(), "percentile of an empty sample set");
+    fatalIf(p < 0.0 || p > 1.0, "percentile p must be in [0, 1]");
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
 } // namespace mcbp

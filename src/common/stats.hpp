@@ -69,4 +69,14 @@ class RunningStat
     double max_ = 0.0;
 };
 
+/**
+ * The @p p-quantile (0 <= p <= 1) of @p samples by linear interpolation
+ * between order statistics. fatal() on an empty sample set. Used for the
+ * serving engine's latency percentiles.
+ */
+double percentile(std::vector<double> samples, double p);
+
+/** percentile() for an already ascending-sorted sample set (no copy). */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
 } // namespace mcbp

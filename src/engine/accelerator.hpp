@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The unified accelerator abstraction of the serving engine.
+ *
+ * Every hardware model the evaluation compares — MCBP in its
+ * standard/aggressive/ablation configurations, the nine SOTA baselines
+ * and the A100 roofline — implements this one interface, so benches,
+ * the serving simulator and future schedulers can treat a heterogeneous
+ * fleet uniformly. Adapters (see adapters.hpp) bridge the concrete
+ * classes in src/accel/ onto it without changing their numbers: an
+ * adapter's run() is bit-identical to a direct call on the wrapped
+ * class (tests/test_engine.cpp asserts this).
+ */
+#pragma once
+
+#include <string>
+
+#include "accel/report.hpp"
+#include "model/llm_config.hpp"
+#include "model/workload.hpp"
+
+namespace mcbp::engine {
+
+/**
+ * What a design can exploit (paper Table 1's capability columns) plus
+ * the operating point, for introspection by schedulers and benches.
+ */
+struct Capabilities
+{
+    bool gemmOptimized = false;      ///< Linear-path redundancy.
+    bool attentionOptimized = false; ///< Attention-path redundancy.
+    bool weightTrafficOptimized = false; ///< Weight compression/pruning.
+    bool kvTrafficOptimized = false; ///< KV-cache traffic reduction.
+    bool decodeOptimized = false;    ///< Mechanisms survive decoding.
+    bool bitLevel = false;           ///< Bit-level (vs value-level).
+    std::size_t processors = 1;      ///< Chips ganged per run.
+    double clockGhz = 1.0;
+};
+
+/** Abstract accelerator: one (model, task) inference run at a time. */
+class Accelerator
+{
+  public:
+    virtual ~Accelerator() = default;
+
+    /** Display name, e.g. "MCBP(S)", "Spatten", "A100". */
+    virtual std::string name() const = 0;
+
+    /** Capability/operating-point introspection. */
+    virtual Capabilities capabilities() const = 0;
+
+    /** Human-readable configuration summary (one or more lines). */
+    virtual std::string configSummary() const = 0;
+
+    /** Simulate one (model, task) inference run. */
+    virtual accel::RunMetrics run(const model::LlmConfig &model,
+                                  const model::Workload &task) const = 0;
+};
+
+} // namespace mcbp::engine

@@ -1,0 +1,311 @@
+#include "engine/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "engine/adapters.hpp"
+
+namespace mcbp::engine {
+
+namespace {
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+/** Parsed `name[:key=value,...]` spec. */
+struct ParsedSpec
+{
+    std::string name;
+    std::map<std::string, std::string> options;
+};
+
+ParsedSpec
+parseSpec(const std::string &spec)
+{
+    ParsedSpec p;
+    const std::size_t colon = spec.find(':');
+    p.name = toLower(spec.substr(0, colon));
+    fatalIf(p.name.empty(), "empty accelerator spec");
+    if (colon == std::string::npos)
+        return p;
+    std::string rest = spec.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos < rest.size()) {
+        const std::size_t comma = rest.find(',', pos);
+        const std::string kv =
+            rest.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        const std::size_t eq = kv.find('=');
+        fatalIf(eq == std::string::npos || eq == 0,
+                "malformed option '" + kv + "' in spec '" + spec + "'");
+        p.options[toLower(kv.substr(0, eq))] = kv.substr(eq + 1);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return p;
+}
+
+double
+toDouble(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(value, &used);
+        fatalIf(used != value.size(), "trailing characters");
+        return v;
+    } catch (const std::exception &) {
+        fatal("bad numeric value '" + value + "' for option '" + key +
+              "'");
+    }
+}
+
+bool
+toBool(const std::string &key, const std::string &value)
+{
+    const std::string v = toLower(value); // grammar is case-insensitive.
+    if (v == "0" || v == "off" || v == "false")
+        return false;
+    if (v == "1" || v == "on" || v == "true")
+        return true;
+    fatal("bad boolean value '" + value + "' for option '" + key + "'");
+}
+
+std::size_t
+toCount(const std::string &key, const std::string &value)
+{
+    const double v = toDouble(key, value);
+    if (v < 0.0 || v != std::floor(v) || v > 1e18)
+        fatal("option '" + key + "' needs a non-negative integer, got '" +
+              value + "'");
+    return static_cast<std::size_t>(v);
+}
+
+/** Consume recognized keys; whatever remains is a user error. */
+void
+rejectUnknown(const ParsedSpec &p)
+{
+    if (!p.options.empty())
+        fatal("unknown option '" + p.options.begin()->first +
+              "' for accelerator '" + p.name + "'");
+}
+
+Capabilities
+baselineCaps(bool gemm, bool attn, bool weight, bool kv, bool decode,
+             bool bit)
+{
+    Capabilities c;
+    c.gemmOptimized = gemm;
+    c.attentionOptimized = attn;
+    c.weightTrafficOptimized = weight;
+    c.kvTrafficOptimized = kv;
+    c.decodeOptimized = decode;
+    c.bitLevel = bit;
+    return c;
+}
+
+/**
+ * One SOTA baseline design: the single source of truth for its spec
+ * name, display name, trait derivation (and therefore which options
+ * apply), and capability flags. knownSpecs(), spec lookup and option
+ * validation all derive from this table, so adding a design is one
+ * entry here.
+ *
+ * Capability flags follow paper Table 1 (Sanger and FACT reduce
+ * attention compute but not formal KV-cache traffic there; the 'low'
+ * entries for Energon/SpAtten map to yes).
+ */
+struct BaselineDef
+{
+    const char *spec;
+    const char *display;
+    /** Exactly one of these is set (none for the dense reference). */
+    accel::BaselineTraits (*fromAttention)(const accel::AttentionStats &);
+    accel::BaselineTraits (*fromWeights)(const accel::WeightStats &);
+    Capabilities caps;
+};
+
+const std::vector<BaselineDef> &
+baselineDefs()
+{
+    static const std::vector<BaselineDef> defs = {
+        {"systolic", "Systolic", nullptr, nullptr,
+         baselineCaps(false, false, false, false, false, false)},
+        {"sanger", "Sanger", accel::makeSanger, nullptr,
+         baselineCaps(false, true, false, false, false, false)},
+        {"spatten", "Spatten", accel::makeSpatten, nullptr,
+         baselineCaps(true, true, false, true, true, false)},
+        {"fact", "FACT", accel::makeFact, nullptr,
+         baselineCaps(true, true, true, false, false, false)},
+        {"sofa", "SOFA", accel::makeSofa, nullptr,
+         baselineCaps(false, true, false, true, false, false)},
+        {"energon", "Energon", accel::makeEnergon, nullptr,
+         baselineCaps(false, true, false, true, false, false)},
+        {"bitwave", "Bitwave", nullptr, accel::makeBitwave,
+         baselineCaps(true, false, true, false, true, true)},
+        {"fusekna", "FuseKNA", nullptr, accel::makeFuseKna,
+         baselineCaps(true, false, true, false, true, true)},
+        {"cambricon-c", "Cambricon-C", nullptr, accel::makeCambriconC,
+         baselineCaps(true, false, true, false, true, false)},
+    };
+    return defs;
+}
+
+const BaselineDef *
+findBaseline(std::string name)
+{
+    if (name == "cambricon") // alias
+        name = "cambricon-c";
+    for (const BaselineDef &d : baselineDefs())
+        if (name == d.spec)
+            return &d;
+    return nullptr;
+}
+
+} // namespace
+
+Registry::Registry(sim::McbpConfig hw)
+    : hw_(hw), profiles_(accel::makeProfileCache())
+{
+}
+
+std::unique_ptr<Accelerator>
+Registry::make(const std::string &spec) const
+{
+    ParsedSpec p = parseSpec(spec);
+
+    auto takeDouble = [&p](const char *key, double fallback) {
+        auto it = p.options.find(key);
+        if (it == p.options.end())
+            return fallback;
+        const double v = toDouble(key, it->second);
+        p.options.erase(it);
+        return v;
+    };
+    auto takeBool = [&p](const char *key, bool fallback) {
+        auto it = p.options.find(key);
+        if (it == p.options.end())
+            return fallback;
+        const bool v = toBool(key, it->second);
+        p.options.erase(it);
+        return v;
+    };
+    auto takeCount = [&p](const char *key, std::size_t fallback) {
+        auto it = p.options.find(key);
+        if (it == p.options.end())
+            return fallback;
+        const std::size_t v = toCount(key, it->second);
+        p.options.erase(it);
+        return v;
+    };
+
+    if (p.name == "mcbp" || p.name == "mcbp-standard" ||
+        p.name == "mcbp-aggressive" || p.name == "mcbp-baseline") {
+        // Start from the canonical factory presets so the registry can
+        // never drift from makeMcbp{Standard,Aggressive,Baseline}().
+        accel::McbpOptions o =
+            (p.name == "mcbp-aggressive"   ? accel::makeMcbpAggressive()
+             : p.name == "mcbp-baseline" ? accel::makeMcbpBaseline()
+                                         : accel::makeMcbpStandard())
+                .options();
+        o.alpha = takeDouble("alpha", o.alpha);
+        o.seed = takeCount("seed", static_cast<std::size_t>(o.seed));
+        o.processors = takeCount("procs", o.processors);
+        o.enableBrcr = takeBool("brcr", o.enableBrcr);
+        o.enableBstc = takeBool("bstc", o.enableBstc);
+        o.enableBgpp = takeBool("bgpp", o.enableBgpp);
+        rejectUnknown(p);
+        return std::make_unique<McbpAdapter>(
+            accel::McbpAccelerator(hw_, o, profiles_));
+    }
+
+    if (p.name == "a100" || p.name == "a100-sw") {
+        accel::GpuSoftwareOptions sw;
+        if (p.name == "a100-sw")
+            sw.brcr = sw.bstc = sw.bgpp = true;
+        sw.brcr = takeBool("brcr", sw.brcr);
+        sw.bstc = takeBool("bstc", sw.bstc);
+        sw.bgpp = takeBool("bgpp", sw.bgpp);
+        const double alpha = takeDouble("alpha", 0.6);
+        const std::uint64_t seed = takeCount("seed", 1);
+        rejectUnknown(p);
+        return std::make_unique<GpuAdapter>(accel::GpuParams{}, sw,
+                                            profiles_, alpha, seed);
+    }
+
+    if (const BaselineDef *def = findBaseline(p.name)) {
+        // Only accept the options this design can react to; an alpha
+        // sweep on a weight-profile design would otherwise be a silent
+        // no-op.
+        double alpha = 0.6;
+        std::uint64_t seed = 1;
+        if (def->fromAttention != nullptr)
+            alpha = takeDouble("alpha", alpha);
+        if (def->fromAttention != nullptr || def->fromWeights != nullptr)
+            seed = takeCount("seed", 1);
+        rejectUnknown(p);
+
+        BaselineAdapter::TraitsMaker maker;
+        if (def->fromAttention != nullptr) {
+            maker = [alpha, seed, make = def->fromAttention](
+                        accel::ProfileCache &cache,
+                        const model::LlmConfig &m,
+                        const model::Workload &t) {
+                return make(cache.attention(m, t, alpha, seed));
+            };
+        } else if (def->fromWeights != nullptr) {
+            maker = [seed, make = def->fromWeights](
+                        accel::ProfileCache &cache,
+                        const model::LlmConfig &m,
+                        const model::Workload &) {
+                return make(cache.weights(m, quant::BitWidth::Int8, seed));
+            };
+        } else {
+            maker = [](accel::ProfileCache &, const model::LlmConfig &,
+                       const model::Workload &) {
+                return accel::makeSystolic();
+            };
+        }
+        return std::make_unique<BaselineAdapter>(def->display, maker,
+                                                 def->caps, profiles_,
+                                                 hw_);
+    }
+
+    fatal("unknown accelerator spec '" + spec + "'");
+}
+
+std::vector<std::unique_ptr<Accelerator>>
+Registry::fleet(const std::vector<std::string> &specs) const
+{
+    std::vector<std::unique_ptr<Accelerator>> out;
+    out.reserve(specs.size());
+    for (const std::string &spec : specs)
+        out.push_back(make(spec));
+    return out;
+}
+
+std::vector<std::string>
+Registry::knownSpecs()
+{
+    std::vector<std::string> specs = {"mcbp", "mcbp-standard",
+                                      "mcbp-aggressive",
+                                      "mcbp-baseline"};
+    for (const BaselineDef &d : baselineDefs())
+        specs.push_back(d.spec);
+    specs.push_back("a100");
+    specs.push_back("a100-sw");
+    return specs;
+}
+
+} // namespace mcbp::engine

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Factory for the evaluation fleet: builds engine::Accelerator instances
+ * from string specs, replacing the hand-rolled per-bench fleets.
+ *
+ * Spec grammar: `name[:key=value[,key=value...]]`, case-insensitive.
+ *
+ * Names:
+ *   mcbp | mcbp-standard     paper standard point (alpha 0.6, all on)
+ *   mcbp-aggressive          alpha 0.5 (1% accuracy loss point)
+ *   mcbp-baseline            ablation baseline (all techniques off)
+ *   systolic | sanger | spatten | fact | sofa | energon |
+ *   bitwave | fusekna | cambricon-c         the SOTA baselines
+ *   a100                     GPU roofline; a100-sw = all algorithms on
+ *
+ * Options (silently ignored keys are an error):
+ *   procs=N                  ganged processors (MCBP only)
+ *   alpha=X                  BGPP alpha_r / profiling alpha
+ *   seed=N                   profiling seed
+ *   brcr|bstc|bgpp=0|1       technique toggles (MCBP and A100)
+ *
+ * Examples: "mcbp:procs=148", "mcbp:bgpp=0", "a100:bstc=1,bgpp=1".
+ *
+ * All accelerators built by one Registry share one thread-safe
+ * accel::ProfileCache, so a fleet profiles each workload exactly once.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/profile_cache.hpp"
+#include "engine/accelerator.hpp"
+#include "sim/mcbp_config.hpp"
+
+namespace mcbp::engine {
+
+/** Builds accelerators from string specs over a shared profile cache. */
+class Registry
+{
+  public:
+    explicit Registry(sim::McbpConfig hw = sim::defaultConfig());
+
+    /** Build one accelerator; fatal() on unknown names/keys. */
+    std::unique_ptr<Accelerator> make(const std::string &spec) const;
+
+    /** Build several accelerators (one fleet, shared profiles). */
+    std::vector<std::unique_ptr<Accelerator>>
+    fleet(const std::vector<std::string> &specs) const;
+
+    /** Canonical spec names this registry understands. */
+    static std::vector<std::string> knownSpecs();
+
+    /** The profile cache shared by everything this registry builds. */
+    const std::shared_ptr<accel::ProfileCache> &profileCache() const
+    {
+        return profiles_;
+    }
+
+  private:
+    sim::McbpConfig hw_;
+    std::shared_ptr<accel::ProfileCache> profiles_;
+};
+
+} // namespace mcbp::engine

@@ -1,0 +1,275 @@
+#include "engine/serving.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+
+namespace mcbp::engine {
+
+namespace {
+
+/** Precomputed cost model of one request (from a batch-1 run). */
+struct RequestCost
+{
+    const model::Request *req = nullptr;
+    double arrivalCycles = 0.0;
+    double prefillCycles = 0.0;
+    /** Per-token weight-stream cycles (shared across a decode batch). */
+    double weightCyclesPerToken = 0.0;
+    /** Per-token linear work (GEMM + activations; per-request, but it
+     *  overlaps the shared weight stream). */
+    double linearCyclesPerToken = 0.0;
+    /** Per-token attention/SFU cycles (per-request, not overlapped). */
+    double otherCyclesPerToken = 0.0;
+    /** Composition rule of the wrapped model's linear segment
+     *  (see PhaseMetrics::memorySerialized). */
+    bool memorySerialized = false;
+    /** Energy split mirroring the cycle split, so the scheduler can
+     *  amortize the shared weight stream in joules too. */
+    double weightJoulesPerToken = 0.0;
+    double otherJoulesPerToken = 0.0;
+    double joules = 0.0; ///< Accumulated as the request is served.
+    std::size_t remainingTokens = 0;
+    bool firstTokenSeen = false;
+    double firstTokenCycles = 0.0;
+};
+
+/** Decode-energy fraction attributable to the weight stream (HBM
+ *  weight traffic + BSTC/Huffman decode), which a batch shares. */
+double
+weightEnergyFraction(const accel::PhaseMetrics &decode)
+{
+    const double total = decode.energy.totalPj();
+    if (total <= 0.0)
+        return 0.0;
+    const double traffic = decode.traffic.total();
+    const double dram_weight =
+        traffic > 0.0
+            ? decode.energy.dramPj * decode.traffic.weightBytes / traffic
+            : 0.0;
+    const double frac =
+        (decode.energy.codecPj + dram_weight) / total;
+    return std::clamp(frac, 0.0, 1.0);
+}
+
+} // namespace
+
+ServingSimulator::ServingSimulator(const Accelerator &accel,
+                                   ServingOptions opts)
+    : accel_(&accel), opts_(opts)
+{
+    fatalIf(opts_.maxBatch == 0, "maxBatch must be positive");
+}
+
+ServingReport
+ServingSimulator::simulate(const std::vector<model::Request> &trace) const
+{
+    fatalIf(trace.empty(), "serving trace is empty");
+
+    ServingReport report;
+    report.accelerator = accel_->name();
+
+    // ---- Cost each request with a batch-1 run ---------------------------
+    double clock_ghz = 0.0;
+    std::vector<RequestCost> costs;
+    costs.reserve(trace.size());
+    for (const model::Request &req : trace) {
+        const model::LlmConfig &m = model::findModel(req.model);
+        const accel::RunMetrics rm = accel_->run(m, req.workload());
+        fatalIf(clock_ghz != 0.0 && rm.clockGhz != clock_ghz,
+                "accelerator changed clock between requests");
+        clock_ghz = rm.clockGhz;
+
+        RequestCost c;
+        c.req = &req;
+        c.arrivalCycles = req.arrivalSeconds * clock_ghz * 1e9;
+        c.prefillCycles = rm.prefill.cycles;
+        const double procs = static_cast<double>(rm.processors);
+        // Start from the prefill energy; decode energy accrues per
+        // served token with the weight stream amortized.
+        c.joules = rm.prefill.energy.totalPj() * 1e-12 * procs;
+        if (req.decodeLen > 0) {
+            const double steps = static_cast<double>(req.decodeLen);
+            // Raw streams let the scheduler re-compose the linear
+            // segment at the batch's size, inverting the model's own
+            // composition rule; the remainder (attention, SFU) is
+            // per-request work.
+            c.memorySerialized = rm.decode.memorySerialized;
+            c.weightCyclesPerToken = rm.decode.weightStreamCycles / steps;
+            c.linearCyclesPerToken = rm.decode.linearWorkCycles / steps;
+            const double linear_segment =
+                c.memorySerialized
+                    ? rm.decode.weightStreamCycles +
+                          rm.decode.linearWorkCycles
+                    : std::max(rm.decode.weightStreamCycles,
+                               rm.decode.linearWorkCycles);
+            c.otherCyclesPerToken =
+                std::max(0.0, rm.decode.cycles - linear_segment) / steps;
+            const double decode_joules =
+                rm.decode.energy.totalPj() * 1e-12 * procs;
+            const double wf = weightEnergyFraction(rm.decode);
+            c.weightJoulesPerToken = decode_joules * wf / steps;
+            c.otherJoulesPerToken =
+                decode_joules * (1.0 - wf) / steps;
+        }
+        c.remainingTokens = req.decodeLen;
+        costs.push_back(c);
+        report.serialSeconds += rm.seconds();
+        report.serialJoules += rm.joules();
+    }
+    // Process arrivals in order regardless of the trace's sort.
+    std::vector<std::size_t> order(costs.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return costs[a].arrivalCycles <
+                                costs[b].arrivalCycles;
+                     });
+
+    // ---- Continuous-batching event loop ---------------------------------
+    const double to_seconds = 1.0 / (clock_ghz * 1e9);
+    double clock = 0.0;
+    double busy = 0.0;
+    double occupancy_sum = 0.0;
+    std::size_t iterations = 0;
+    std::size_t next_arrival = 0;
+    std::deque<RequestCost *> waiting;
+    std::vector<RequestCost *> active;
+    std::string current_model;
+
+    auto finish = [&](RequestCost &c) {
+        RequestMetrics rmx;
+        rmx.id = c.req->id;
+        rmx.arrivalSeconds = c.req->arrivalSeconds;
+        rmx.firstTokenSeconds =
+            (c.firstTokenSeen ? c.firstTokenCycles : clock) * to_seconds;
+        rmx.completionSeconds = clock * to_seconds;
+        rmx.decodeTokens = c.req->decodeLen;
+        rmx.joules = c.joules;
+        report.requests.push_back(rmx);
+    };
+
+    const std::size_t total = costs.size();
+    while (report.requests.size() < total) {
+        // Pull arrivals that happened by now into the waiting queue.
+        while (next_arrival < order.size() &&
+               costs[order[next_arrival]].arrivalCycles <= clock)
+            waiting.push_back(&costs[order[next_arrival++]]);
+
+        // Idle engine: jump to the next arrival.
+        if (active.empty() && waiting.empty()) {
+            panicIf(next_arrival >= order.size(),
+                    "serving scheduler stalled with requests pending");
+            clock = costs[order[next_arrival]].arrivalCycles;
+            continue;
+        }
+
+        // The engine serves one model at a time; pick the oldest
+        // outstanding request's model when the batch drains.
+        if (active.empty() && !waiting.empty())
+            current_model = waiting.front()->req->model;
+
+        // Admit waiting requests into free slots in strict FIFO order;
+        // each pays its prefill before joining the decode batch. A
+        // different-model request at the queue head stops admission
+        // (drain, then switch) — skipping it would starve that model
+        // under continuous same-model arrivals.
+        while (!waiting.empty() && active.size() < opts_.maxBatch &&
+               waiting.front()->req->model == current_model) {
+            RequestCost *c = waiting.front();
+            waiting.pop_front();
+            clock += c->prefillCycles;
+            busy += c->prefillCycles;
+            if (c->remainingTokens == 0)
+                finish(*c);
+            else
+                active.push_back(c);
+        }
+
+        if (active.empty())
+            continue; // everything admitted had zero decode tokens.
+
+        // One decode iteration: everyone advances one token. The weight
+        // stream is fetched once for the whole batch (max, in cycles
+        // and in joules) and overlaps the batch's summed linear work;
+        // attention/SFU is per-request work on top.
+        double weight_cycles = 0.0;
+        double linear_cycles = 0.0;
+        double other_cycles = 0.0;
+        double weight_joules = 0.0;
+        for (RequestCost *c : active) {
+            weight_cycles =
+                std::max(weight_cycles, c->weightCyclesPerToken);
+            weight_joules =
+                std::max(weight_joules, c->weightJoulesPerToken);
+            linear_cycles += c->linearCyclesPerToken;
+            other_cycles += c->otherCyclesPerToken;
+        }
+        // Everyone in the batch runs on the same accelerator, so the
+        // composition rule is uniform across the active set.
+        const double linear_segment =
+            active.front()->memorySerialized
+                ? weight_cycles + linear_cycles
+                : std::max(weight_cycles, linear_cycles);
+        const double iter_cycles = linear_segment + other_cycles;
+        clock += iter_cycles;
+        busy += iter_cycles;
+        occupancy_sum += static_cast<double>(active.size());
+        report.peakBatch = std::max(report.peakBatch, active.size());
+        ++iterations;
+
+        const double weight_joules_share =
+            weight_joules / static_cast<double>(active.size());
+        for (auto it = active.begin(); it != active.end();) {
+            RequestCost *c = *it;
+            c->joules += c->otherJoulesPerToken + weight_joules_share;
+            if (!c->firstTokenSeen) {
+                c->firstTokenSeen = true;
+                c->firstTokenCycles = clock;
+            }
+            if (--c->remainingTokens == 0) {
+                finish(*c);
+                it = active.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    // ---- Aggregate ------------------------------------------------------
+    report.makespanSeconds = clock * to_seconds;
+    report.busySeconds = busy * to_seconds;
+    std::vector<double> latencies;
+    latencies.reserve(report.requests.size());
+    double total_tokens = 0.0;
+    double total_joules = 0.0;
+    for (const RequestMetrics &r : report.requests) {
+        latencies.push_back(r.latencySeconds());
+        total_tokens += static_cast<double>(r.decodeTokens);
+        total_joules += r.joules;
+    }
+    report.meanLatencySeconds =
+        std::accumulate(latencies.begin(), latencies.end(), 0.0) /
+        static_cast<double>(latencies.size());
+    // One sort serves all three quantiles.
+    std::sort(latencies.begin(), latencies.end());
+    report.p50LatencySeconds = percentileSorted(latencies, 0.50);
+    report.p90LatencySeconds = percentileSorted(latencies, 0.90);
+    report.p99LatencySeconds = percentileSorted(latencies, 0.99);
+    report.tokensPerSecond = report.makespanSeconds > 0.0
+                                 ? total_tokens / report.makespanSeconds
+                                 : 0.0;
+    report.joulesPerToken =
+        total_tokens > 0.0 ? total_joules / total_tokens : 0.0;
+    report.meanBatchOccupancy =
+        iterations > 0
+            ? occupancy_sum / static_cast<double>(iterations)
+            : 0.0;
+    return report;
+}
+
+} // namespace mcbp::engine

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Multi-request serving workload descriptions: one inference request
+ * (arrival time + per-request prompt/decode lengths on a zoo model and
+ * task) and a synthetic Poisson trace generator, the input side of
+ * engine::ServingSimulator.
+ *
+ * A request is a single user's inference, so unlike the offline
+ * Workload benchmarks (evaluated at the paper's batch sizes) it carries
+ * batch 1; the serving engine forms batches dynamically from whatever
+ * requests are in flight.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/workload.hpp"
+
+namespace mcbp::model {
+
+/** One serving request. */
+struct Request
+{
+    std::size_t id = 0;
+    double arrivalSeconds = 0.0;
+    std::string model = "Llama7B"; ///< Zoo model name.
+    std::string task = "Dolly";    ///< Zoo task the request is drawn from.
+    std::size_t promptLen = 0;
+    std::size_t decodeLen = 0;
+
+    /** The request as a batch-1 workload for Accelerator::run(). */
+    Workload workload() const;
+};
+
+/** Parameters of the synthetic trace generator. */
+struct TraceConfig
+{
+    std::string model = "Llama7B";
+    std::string task = "Dolly";
+    std::size_t requests = 32;
+    /** Mean arrival rate (Poisson process; 0 = all arrive at time 0). */
+    double arrivalsPerSecond = 2.0;
+    /**
+     * Per-request length spread: prompt/decode lengths are drawn
+     * uniformly in [1-jitter, 1+jitter] x the task's nominal lengths.
+     */
+    double lengthJitter = 0.5;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Synthesize a request trace: exponential inter-arrival times at the
+ * configured rate, jittered lengths, sorted by arrival.
+ */
+std::vector<Request> synthesizeTrace(const TraceConfig &cfg);
+
+} // namespace mcbp::model

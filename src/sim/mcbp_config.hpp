@@ -48,6 +48,16 @@ struct McbpConfig
     std::size_t bgppTreeInputs = 64;
     std::size_t bgppFilters = 4;
 
+    // Pipeline overlap (Fig 10 workflow; swept by the ablations).
+    /** Fraction of SFU work that cannot be hidden under compute. */
+    double exposedSfuFraction = 0.15;
+    /**
+     * Fraction of the linear segment the BGPP prediction can hide under:
+     * prediction runs concurrently with QK/V generation (Fig 10 steps
+     * 6-7), roughly the QKV share of the layer's linear work.
+     */
+    double predictionOverlapWindow = 0.35;
+
     // On-chip SRAM (Table 3).
     std::size_t tokenSramKb = 384;
     std::size_t weightSramKb = 768;

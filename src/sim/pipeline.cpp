@@ -5,7 +5,7 @@
 namespace mcbp::sim {
 
 LayerLatency
-composeLayer(const StageCycles &stages)
+composeLayer(const StageCycles &stages, const McbpConfig &cfg)
 {
     LayerLatency lat;
     lat.linearPart = std::max({stages.weightLoad, stages.weightDecode,
@@ -13,10 +13,10 @@ composeLayer(const StageCycles &stages)
     // BGPP overlaps the QKV-generation window; the excess is exposed.
     const double exposed_pred = std::max(
         0.0,
-        stages.prediction - lat.linearPart * kPredictionOverlapWindow);
+        stages.prediction - lat.linearPart * cfg.predictionOverlapWindow);
     lat.attentionPart =
         exposed_pred + std::max(stages.kvLoad, stages.attention);
-    lat.exposedSfu = stages.sfu * kExposedSfuFraction;
+    lat.exposedSfu = stages.sfu * cfg.exposedSfuFraction;
     lat.totalCycles = lat.linearPart + lat.attentionPart + lat.exposedSfu;
     return lat;
 }

@@ -18,6 +18,8 @@
 
 #include <string>
 
+#include "sim/mcbp_config.hpp"
+
 namespace mcbp::sim {
 
 /** Per-layer stage cycle inputs. */
@@ -42,18 +44,13 @@ struct LayerLatency
     double exposedSfu = 0.0;
 };
 
-/** Fraction of SFU work that cannot be hidden under compute. */
-inline constexpr double kExposedSfuFraction = 0.15;
-
 /**
- * Fraction of the linear segment the BGPP prediction can hide under:
- * prediction runs concurrently with QK/V generation (Fig 10 steps 6-7),
- * which is roughly the QKV share of the layer's linear work.
+ * Compose one layer's latency with MCBP's overlap rules. The overlap
+ * constants (`exposedSfuFraction`, `predictionOverlapWindow`) come from
+ * @p cfg so ablations can sweep them without recompiling.
  */
-inline constexpr double kPredictionOverlapWindow = 0.35;
-
-/** Compose one layer's latency with MCBP's overlap rules. */
-LayerLatency composeLayer(const StageCycles &stages);
+LayerLatency composeLayer(const StageCycles &stages,
+                          const McbpConfig &cfg = defaultConfig());
 
 /**
  * Compose a layer with *no* overlap (the Fig 21 "software on GPU" or

@@ -219,7 +219,27 @@ TEST(Pipeline, SfuPartiallyExposed)
     StageCycles s;
     s.sfu = 100;
     LayerLatency lat = composeLayer(s);
-    EXPECT_DOUBLE_EQ(lat.exposedSfu, 100.0 * kExposedSfuFraction);
+    EXPECT_DOUBLE_EQ(lat.exposedSfu,
+                     100.0 * defaultConfig().exposedSfuFraction);
+}
+
+TEST(Pipeline, OverlapConstantsSweepableViaConfig)
+{
+    // The ablations sweep the overlap constants through McbpConfig
+    // instead of recompiling.
+    StageCycles s;
+    s.linearCompute = 100;
+    s.prediction = 50;
+    s.sfu = 100;
+    McbpConfig cfg = defaultConfig();
+    cfg.exposedSfuFraction = 0.5;
+    cfg.predictionOverlapWindow = 0.0;
+    LayerLatency lat = composeLayer(s, cfg);
+    EXPECT_DOUBLE_EQ(lat.exposedSfu, 50.0);
+    EXPECT_DOUBLE_EQ(lat.attentionPart, 50.0); // nothing hidden
+    cfg.predictionOverlapWindow = 1.0;
+    lat = composeLayer(s, cfg);
+    EXPECT_DOUBLE_EQ(lat.attentionPart, 0.0); // fully hidden
 }
 
 } // namespace
