@@ -16,8 +16,11 @@
 using namespace mcbp;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Reject a bad --json path before running the sweeps.
+    (void)bench::validatedJsonPathFromArgs(argc, argv);
+    bench::JsonRecords json("fig20_throughput_efficiency");
     bench::banner("Fig 20(a)(b): MCBP (148 processors) vs A100");
 
     // The paper averages across its 26 benchmarks; use one task of each
@@ -65,6 +68,13 @@ main()
         batch_gain += batch_tput_gain;
         t.addRow({m.name, fmtX(batch_tput_gain), fmtX(speed_s),
                   fmtX(speed_a), fmtX(eff_s), fmtX(eff_a)});
+        json.begin()
+            .field("model", m.name)
+            .field("gpu_b128_vs_b8", batch_tput_gain)
+            .field("mcbp_s_speedup", speed_s)
+            .field("mcbp_a_speedup", speed_a)
+            .field("mcbp_s_eff_gain", eff_s)
+            .field("mcbp_a_eff_gain", eff_a);
     }
     const double n = static_cast<double>(model::modelZoo().size());
     t.addRow({"Mean", fmtX(batch_gain / n), fmtX(sp_s / n),
@@ -91,10 +101,17 @@ main()
             t2.addRow({name, fmt(1.0),
                        fmt(rf.totalCycles() / rb.totalCycles()),
                        fmtPct(0.15)});
+            json.begin()
+                .field("model", m.name)
+                .field("task", name)
+                .field("norm_latency_mcbp",
+                       rf.totalCycles() / rb.totalCycles())
+                .field("shift_share", 0.15);
         }
         t2.print(std::cout);
         std::cout << "Paper reference: ~17% bit-shift overhead, but ~3x "
                      "net latency reduction over value-level execution.\n";
     }
+    json.writeIfRequested(argc, argv);
     return 0;
 }

@@ -29,6 +29,7 @@ struct GpuParams
 {
     double int8Tops = 624.0;        ///< Peak INT8 tensor-core TOPS.
     double hbmBytesPerSec = 2.0e12; ///< HBM2e bandwidth.
+    double hbmCapacityBytes = 80e9; ///< HBM2e capacity (A100 80GB SXM).
     double computeUtilization = 0.40; ///< Large-GEMM tensor-core util.
     double decodeBwUtilization = 0.72;///< Achievable decode bandwidth.
     double dynamicWatts = 350.0;    ///< Active-minus-idle power.

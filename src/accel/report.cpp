@@ -18,6 +18,7 @@ PhaseMetrics::merge(const PhaseMetrics &o)
     otherCycles += o.otherCycles;
     weightStreamCycles += o.weightStreamCycles;
     linearWorkCycles += o.linearWorkCycles;
+    fixedStepCycles += o.fixedStepCycles;
 }
 
 double

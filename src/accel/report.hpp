@@ -7,12 +7,28 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
 #include "sim/energy_model.hpp"
 
 namespace mcbp::accel {
+
+/**
+ * Compose a phase's linear segment from its two raw streams under the
+ * model's composition rule (PhaseMetrics::memorySerialized). The one
+ * definition shared by phase sharding (cluster), per-request costing
+ * and batch re-composition (serving), which must never disagree.
+ */
+inline double
+composedLinearCycles(double weightStreamCycles, double linearWorkCycles,
+                     bool memorySerialized)
+{
+    return memorySerialized
+               ? weightStreamCycles + linearWorkCycles
+               : std::max(weightStreamCycles, linearWorkCycles);
+}
 
 /** Off-chip traffic in bytes. */
 struct Traffic
@@ -66,6 +82,15 @@ struct PhaseMetrics
     double weightStreamCycles = 0.0;
     double linearWorkCycles = 0.0;
     bool memorySerialized = false;
+    /**
+     * Phase TOTAL (summed over the phase's steps, like `cycles`) of
+     * the fixed per-step latency floor that a batched step pays once
+     * regardless of how many requests share it (e.g. a cluster's
+     * all-reduce hop latency). Contained in `cycles`. Schedulers
+     * divide by the phase's steps and charge the per-step share like
+     * the weight stream — max across the batch, never summed.
+     */
+    double fixedStepCycles = 0.0;
 
     void merge(const PhaseMetrics &o);
 };

@@ -51,19 +51,58 @@ BitPlane::columnPattern(std::size_t row0, std::size_t m, std::size_t c) const
     return p;
 }
 
+std::size_t
+BitPlane::patternsAt(std::size_t row0, std::size_t m, std::size_t word,
+                     std::uint32_t *out) const
+{
+    panicIf(m > 16, "group size > 16 unsupported");
+    panicIf(word >= wordsPerRow_, "word index out of range");
+    const std::size_t col0 = word << 6;
+    const std::size_t width = std::min<std::size_t>(64, cols_ - col0);
+    const std::size_t last = std::min(row0 + m, rows_);
+
+    // One packed word per group row covers all 64 columns of the block.
+    std::uint64_t rowWords[16];
+    std::uint64_t any = 0;
+    std::size_t nrows = 0;
+    for (std::size_t r = row0; r < last; ++r) {
+        const std::uint64_t w = words_[r * wordsPerRow_ + word];
+        rowWords[nrows++] = w;
+        any |= w;
+    }
+
+    for (std::size_t c = 0; c < 64; ++c)
+        out[c] = 0;
+    // Walk only the columns where any group row has a bit (countr_zero
+    // over the OR word): zero columns — the common case on the sparse
+    // planes — cost nothing beyond the blanking above.
+    while (any != 0) {
+        const int c = std::countr_zero(any);
+        any &= any - 1;
+        std::uint32_t p = 0;
+        for (std::size_t r = 0; r < nrows; ++r)
+            p |= static_cast<std::uint32_t>((rowWords[r] >> c) & 1u)
+                 << r;
+        out[c] = p;
+    }
+    return width;
+}
+
 void
 BitPlane::columnPatterns(std::size_t row0, std::size_t m,
                          std::vector<std::uint32_t> &out) const
 {
     panicIf(m > 16, "group size > 16 unsupported");
-    out.assign(cols_, 0);
-    const std::size_t last = std::min(row0 + m, rows_);
-    for (std::size_t r = row0; r < last; ++r) {
-        const std::uint64_t *row = words_.data() + r * wordsPerRow_;
-        const std::uint32_t shift = static_cast<std::uint32_t>(r - row0);
-        for (std::size_t c = 0; c < cols_; ++c) {
-            const std::uint64_t bit = (row[c >> 6] >> (c & 63)) & 1u;
-            out[c] |= static_cast<std::uint32_t>(bit) << shift;
+    out.resize(cols_);
+    for (std::size_t w = 0; w < wordsPerRow_; ++w) {
+        if (((w + 1) << 6) <= cols_) { // full block: write in place.
+            (void)patternsAt(row0, m, w, out.data() + (w << 6));
+        } else { // final partial word: stage through a 64-slot buffer.
+            std::uint32_t block[64];
+            const std::size_t width = patternsAt(row0, m, w, block);
+            std::uint32_t *dst = out.data() + (w << 6);
+            for (std::size_t c = 0; c < width; ++c)
+                dst[c] = block[c];
         }
     }
 }

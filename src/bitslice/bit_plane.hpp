@@ -65,11 +65,24 @@ class BitPlane
 
     /**
      * All column patterns for a row group, appended to @p out (resized to
-     * cols()). Vectorized over the packed words; this is the hot loop of
-     * both BRCR and BSTC.
+     * cols()). Word-parallel over the packed words (patternsAt); this is
+     * the hot loop of both BRCR and BSTC.
      */
     void columnPatterns(std::size_t row0, std::size_t m,
                         std::vector<std::uint32_t> &out) const;
+
+    /**
+     * Column patterns of one word-aligned 64-column block: columns
+     * [word*64, word*64+64) of the @p m-row group starting at @p row0,
+     * written to @p out (caller provides >= 64 slots; entries past
+     * cols() are zeroed). Reads one packed word per group row instead
+     * of one BitPlane::get() per (row, column) — 64x fewer loads — and
+     * skips all-zero words outright, which dominates on the sparse
+     * high-magnitude planes BRCR and BSTC actually walk.
+     * @return patterns written that lie inside the plane (<= 64).
+     */
+    std::size_t patternsAt(std::size_t row0, std::size_t m,
+                           std::size_t word, std::uint32_t *out) const;
 
     bool operator==(const BitPlane &other) const;
 

@@ -8,8 +8,8 @@ std::size_t
 PlanePolicy::compressedCount() const
 {
     std::size_t n = 0;
-    for (bool b : compress)
-        if (b)
+    for (std::uint8_t b : compress)
+        if (b != 0)
             ++n;
     return n;
 }
@@ -18,14 +18,14 @@ PlanePolicy
 paperDefaultPolicy(std::size_t plane_count)
 {
     PlanePolicy policy;
-    policy.compress.assign(plane_count, false);
+    policy.compress.assign(plane_count, 0);
     if (plane_count >= 7) {
         // INT8: compress planes 3..7 (indices 2..6).
         for (std::size_t p = 2; p < 7; ++p)
-            policy.compress[p] = true;
+            policy.compress[p] = 1;
     } else if (plane_count >= 3) {
         // INT4: only the MSB magnitude plane is sparse enough.
-        policy.compress[plane_count - 1] = true;
+        policy.compress[plane_count - 1] = 1;
     }
     return policy;
 }
@@ -38,7 +38,7 @@ adaptivePolicy(const bitslice::SparsityReport &report, double threshold)
     PlanePolicy policy;
     policy.compress.reserve(report.planeSparsity.size());
     for (double sr : report.planeSparsity)
-        policy.compress.push_back(sr > threshold);
+        policy.compress.push_back(sr > threshold ? 1 : 0);
     return policy;
 }
 

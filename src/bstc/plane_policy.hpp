@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "bitslice/sparsity.hpp"
@@ -23,8 +24,13 @@ inline constexpr double kDefaultSparsityThreshold = 0.65;
 /** Which planes of a decomposition get BSTC-encoded. */
 struct PlanePolicy
 {
-    /** compress[p] = encode magnitude plane p+1 (index 0 = LSB plane). */
-    std::vector<bool> compress;
+    /**
+     * compress[p] != 0 = encode magnitude plane p+1 (index 0 = LSB
+     * plane). Deliberately std::uint8_t, not bool: vector<bool>'s
+     * proxy references defeat word-at-a-time reads and force awkward
+     * call sites.
+     */
+    std::vector<std::uint8_t> compress;
     /** The sign plane is always stored raw in the paper's design. */
     bool compressSign = false;
 

@@ -35,6 +35,9 @@ struct Capabilities
     bool bitLevel = false;           ///< Bit-level (vs value-level).
     std::size_t processors = 1;      ///< Chips ganged per run.
     double clockGhz = 1.0;
+    /** Aggregate HBM capacity in bytes across all chips (0 = unknown).
+     *  Serving admission derives its KV budget from this. */
+    double hbmCapacityBytes = 0.0;
 };
 
 /** Abstract accelerator: one (model, task) inference run at a time. */

@@ -29,6 +29,8 @@ McbpAdapter::capabilities() const
     c.bitLevel = o.enableBrcr || o.enableBstc || o.enableBgpp;
     c.processors = o.processors;
     c.clockGhz = impl_.hardware().clockGhz;
+    c.hbmCapacityBytes = impl_.hardware().hbmCapacityGb * 1e9 *
+                         static_cast<double>(o.processors);
     return c;
 }
 
@@ -63,6 +65,7 @@ BaselineAdapter::BaselineAdapter(
     fatalIf(!maker_, "baseline adapter needs a traits maker");
     fatalIf(!profiles_, "baseline adapter needs a profile cache");
     caps_.clockGhz = hw_.clockGhz;
+    caps_.hbmCapacityBytes = hw_.hbmCapacityGb * 1e9;
 }
 
 std::string
@@ -116,6 +119,7 @@ GpuAdapter::capabilities() const
     c.bitLevel = false;       // SIMT lanes stay value-level.
     c.processors = 1;
     c.clockGhz = impl_.params().clockGhz;
+    c.hbmCapacityBytes = impl_.params().hbmCapacityBytes;
     return c;
 }
 

@@ -1,0 +1,172 @@
+#include "engine/cluster.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace mcbp::engine {
+
+ClusterAccelerator::ClusterAccelerator(std::unique_ptr<Accelerator> chip,
+                                       ClusterOptions opts)
+    : chip_(std::move(chip)), opts_(opts)
+{
+    fatalIf(!chip_, "cluster needs a chip accelerator");
+    fatalIf(opts_.tensorParallel == 0,
+            "tensor-parallel degree must be >= 1");
+    // A nested cluster's all-reduce serialization is not divisible by
+    // the outer degree, which shardPhase's 1/N rescale would wrongly
+    // assume; hierarchical fabrics are a ROADMAP item. Flatten the
+    // degrees into one tp= instead.
+    fatalIf(dynamic_cast<const ClusterAccelerator *>(chip_.get()) !=
+                nullptr,
+            "nested cluster composition is not modeled; use a single "
+            "tp= degree");
+}
+
+std::string
+ClusterAccelerator::name() const
+{
+    if (opts_.tensorParallel == 1)
+        return chip_->name();
+    return chip_->name() + "[tp" + std::to_string(opts_.tensorParallel) +
+           "]";
+}
+
+Capabilities
+ClusterAccelerator::capabilities() const
+{
+    Capabilities c = chip_->capabilities();
+    c.processors *= opts_.tensorParallel;
+    c.hbmCapacityBytes *= static_cast<double>(opts_.tensorParallel);
+    return c;
+}
+
+std::string
+ClusterAccelerator::configSummary() const
+{
+    if (opts_.tensorParallel == 1) // identity: no fabric exists.
+        return chip_->configSummary();
+    std::ostringstream os;
+    os << name() << ": " << opts_.tensorParallel
+       << "-way tensor parallel (weights/GEMM split 1/N, attention by "
+          "heads), ring all-reduce fabric @ "
+       << opts_.interconnect.linkGBs << " GB/s, "
+       << opts_.interconnect.pJPerBit << " pJ/bit, "
+       << opts_.interconnect.hopCycles << "-cycle hops\n"
+       << chip_->configSummary();
+    return os.str();
+}
+
+/**
+ * Rescale one phase to the per-chip shard: weight stream and linear
+ * work 1/N (the composed linear segment scales with them), attention
+ * and SFU 1/N (partitioned by heads), then charge 2 activation
+ * all-reduces per layer per step on the critical path and per chip in
+ * energy.
+ *
+ * @param phaseTokens tokens whose activations one all-reduce carries
+ *        (prompt x batch for prefill, batch for one decode step),
+ *        already divided by the wrapped gang's data-parallel share.
+ */
+accel::PhaseMetrics
+ClusterAccelerator::shardPhase(const accel::PhaseMetrics &phase,
+                               const model::LlmConfig &model,
+                               double phaseTokens, double steps,
+                               double gangProcessors,
+                               double clockGhz) const
+{
+    const double n = static_cast<double>(opts_.tensorParallel);
+    const sim::Interconnect fabric(opts_.interconnect, clockGhz);
+
+    // Invert the model's own composition to find the non-linear rest.
+    // A wrapped model's own fixed per-step floor is excluded: latency
+    // does not shrink with more chips.
+    const double linear_segment = accel::composedLinearCycles(
+        phase.weightStreamCycles, phase.linearWorkCycles,
+        phase.memorySerialized);
+    const double rest = std::max(
+        0.0, phase.cycles - linear_segment - phase.fixedStepCycles);
+
+    // One all-reduce carries the layer's activation vector for the
+    // tokens this gang member processes in one step.
+    const double bytes_per_collective =
+        phaseTokens * static_cast<double>(model.hidden) *
+        opts_.interconnect.bytesPerActivation / gangProcessors;
+    const double collectives =
+        2.0 * static_cast<double>(model.layers) * steps;
+    const sim::InterconnectCost per_collective =
+        fabric.allReduce(bytes_per_collective, opts_.tensorParallel);
+    const double ic_cycles = per_collective.cycles() * collectives;
+    const double ic_pj = per_collective.energyPj * collectives;
+
+    accel::PhaseMetrics out = phase;
+    out.cycles = linear_segment / n + rest / n +
+                 phase.fixedStepCycles + ic_cycles;
+    out.weightStreamCycles = phase.weightStreamCycles / n;
+    out.linearWorkCycles = phase.linearWorkCycles / n;
+    out.gemmCycles = phase.gemmCycles / n;
+    out.weightLoadCycles = phase.weightLoadCycles / n;
+    out.kvLoadCycles = phase.kvLoadCycles / n;
+    // Breakdown: only the bandwidth share joins otherCycles; the hop
+    // latency lives in fixedStepCycles so contributors are not
+    // double-counted.
+    out.otherCycles = phase.otherCycles / n +
+                      per_collective.bandwidthCycles * collectives;
+    // The hop-latency share of the collectives is a fixed per-step
+    // floor: a serving batch shares each collective, so it must not
+    // be multiplied by the batch size when the phase is re-composed.
+    out.fixedStepCycles =
+        phase.fixedStepCycles + per_collective.latencyCycles * collectives;
+
+    // Traffic and energy are per-chip quantities (RunMetrics::joules
+    // multiplies by processors); logical work (denseMacs/executedAdds)
+    // stays the cluster total, like the wrapped gang reports it.
+    out.traffic.weightBytes = phase.traffic.weightBytes / n;
+    out.traffic.kvBytes = phase.traffic.kvBytes / n;
+    out.traffic.predictionBytes = phase.traffic.predictionBytes / n;
+    out.traffic.actBytes = phase.traffic.actBytes / n;
+
+    out.energy.computePj = phase.energy.computePj / n;
+    out.energy.bitReorderPj = phase.energy.bitReorderPj / n;
+    out.energy.camPj = phase.energy.camPj / n;
+    out.energy.codecPj = phase.energy.codecPj / n;
+    out.energy.bgppPj = phase.energy.bgppPj / n;
+    out.energy.sramPj = phase.energy.sramPj / n;
+    out.energy.dramPj = phase.energy.dramPj / n;
+    out.energy.sfuPj = phase.energy.sfuPj / n;
+    out.energy.interconnectPj = phase.energy.interconnectPj / n + ic_pj;
+    return out;
+}
+
+accel::RunMetrics
+ClusterAccelerator::run(const model::LlmConfig &model,
+                        const model::Workload &task) const
+{
+    fatalIf(model.heads % opts_.tensorParallel != 0,
+            "tensor-parallel degree " +
+                std::to_string(opts_.tensorParallel) +
+                " must divide " + model.name + "'s " +
+                std::to_string(model.heads) + " attention heads");
+    accel::RunMetrics inner = chip_->run(model, task);
+    if (opts_.tensorParallel == 1)
+        return inner; // identity: bit-for-bit the bare chip.
+
+    const double gang = static_cast<double>(inner.processors);
+    accel::RunMetrics out = inner;
+    out.accelerator = name();
+    out.processors = inner.processors * opts_.tensorParallel;
+    out.prefill = shardPhase(
+        inner.prefill, model,
+        static_cast<double>(task.promptLen * task.batch), 1.0, gang,
+        inner.clockGhz);
+    if (task.decodeLen > 0)
+        out.decode = shardPhase(inner.decode, model,
+                                static_cast<double>(task.batch),
+                                static_cast<double>(task.decodeLen),
+                                gang, inner.clockGhz);
+    return out;
+}
+
+} // namespace mcbp::engine

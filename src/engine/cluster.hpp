@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Multi-chip cluster accelerator: shards one model across N chips via
+ * tensor parallelism behind the same engine::Accelerator interface.
+ *
+ * A ClusterAccelerator wraps any single-chip Accelerator and rescales
+ * its per-phase PhaseMetrics to the Megatron-style TP decomposition:
+ * the weight stream and the linear (GEMM) work split 1/N — each chip
+ * stores and streams 1/N of every weight matrix — and the attention /
+ * SFU work partitions by heads (N must divide the model's head count).
+ * What parallelism does not remove, it adds: two activation
+ * all-reduces per decoder layer (after the attention output projection
+ * and after the FFN down projection), priced per collective by
+ * sim::Interconnect and charged on the critical path in cycles and per
+ * chip in energy (EnergyBreakdown::interconnectPj) — so a tp=N run is
+ * faster than one chip but never cheaper than the interconnect floor.
+ *
+ * tp=1 is the identity: run() returns the wrapped chip's RunMetrics
+ * verbatim, so a tp=1 cluster is bit-identical to the bare adapter
+ * (tests/test_cluster.cpp asserts this down to the serving report).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "engine/accelerator.hpp"
+#include "sim/interconnect.hpp"
+
+namespace mcbp::engine {
+
+/** Cluster shape and fabric parameters. */
+struct ClusterOptions
+{
+    /** Chips the model is sharded across (must divide head count). */
+    std::size_t tensorParallel = 1;
+    sim::InterconnectConfig interconnect;
+};
+
+/** N tensor-parallel chips presented as one Accelerator. */
+class ClusterAccelerator : public Accelerator
+{
+  public:
+    ClusterAccelerator(std::unique_ptr<Accelerator> chip,
+                       ClusterOptions opts);
+
+    std::string name() const override;
+    Capabilities capabilities() const override;
+    std::string configSummary() const override;
+    accel::RunMetrics run(const model::LlmConfig &model,
+                          const model::Workload &task) const override;
+
+    const Accelerator &underlying() const { return *chip_; }
+    const ClusterOptions &options() const { return opts_; }
+
+  private:
+    accel::PhaseMetrics shardPhase(const accel::PhaseMetrics &phase,
+                                   const model::LlmConfig &model,
+                                   double phaseTokens, double steps,
+                                   double gangProcessors,
+                                   double clockGhz) const;
+
+    std::unique_ptr<Accelerator> chip_;
+    ClusterOptions opts_;
+};
+
+} // namespace mcbp::engine

@@ -1,0 +1,207 @@
+#include "engine/event_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "accel/report.hpp"
+#include "common/logging.hpp"
+
+namespace mcbp::engine {
+
+EventCore::EventCore(const Scheduler &scheduler, std::size_t maxBatch,
+                     double kvCapacityBytes)
+    : scheduler_(&scheduler), maxBatch_(maxBatch),
+      kvCapacityBytes_(kvCapacityBytes)
+{
+    fatalIf(maxBatch_ == 0, "maxBatch must be positive");
+    fatalIf(kvCapacityBytes_ < 0.0, "KV capacity must be >= 0");
+}
+
+EventStats
+EventCore::run(std::vector<CostedRequest> &requests) const
+{
+    EventStats stats;
+    stats.completed.reserve(requests.size());
+
+    // A request larger than the whole budget would wait forever.
+    if (kvCapacityBytes_ > 0.0)
+        for (const CostedRequest &c : requests)
+            fatalIf(c.kvBytes > kvCapacityBytes_,
+                    "request KV footprint exceeds the configured "
+                    "capacity; it can never be admitted");
+
+    // Process arrivals in order regardless of the trace's sort.
+    std::vector<std::size_t> order(requests.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return requests[a].arrivalCycles <
+                                requests[b].arrivalCycles;
+                     });
+
+    double clock = 0.0;
+    double kv_in_use = 0.0;
+    std::size_t next_arrival = 0;
+    std::deque<CostedRequest *> waiting;
+    std::vector<CostedRequest *> active;
+    std::vector<AdmissionCandidate> candidates;
+
+    auto finish = [&](CostedRequest &c) {
+        c.completionCycles = clock;
+        kv_in_use -= c.kvBytes;
+        stats.completed.push_back(&c);
+    };
+    // Pull every request that has arrived by the current clock into
+    // the waiting queue (arrival order).
+    auto pull_arrivals = [&] {
+        while (next_arrival < order.size() &&
+               requests[order[next_arrival]].arrivalCycles <= clock)
+            waiting.push_back(&requests[order[next_arrival++]]);
+    };
+
+    const std::size_t total = requests.size();
+    while (stats.completed.size() < total) {
+        // An idle engine holds no KV. Assert that (a drift beyond any
+        // FP residue means a reservation leaked), then clear the
+        // residue so exact-capacity admission can never stall on one.
+        if (active.empty()) {
+            panicIf(std::abs(kv_in_use) > 1.0,
+                    "KV accounting leak: idle engine still holds "
+                    "reserved bytes");
+            kv_in_use = 0.0;
+        }
+
+        pull_arrivals();
+
+        // Idle engine: jump to the next arrival.
+        if (active.empty() && waiting.empty()) {
+            panicIf(next_arrival >= order.size(),
+                    "serving scheduler stalled with requests pending");
+            clock = requests[order[next_arrival]].arrivalCycles;
+            continue;
+        }
+
+        // Admission: the scheduler picks among the admissible waiting
+        // requests — a free batch slot, the running batch's model (the
+        // engine serves one model at a time; an empty batch anchors on
+        // whatever is admitted first), and a KV reservation that fits.
+        // Each admission pays its prefill before joining the batch.
+        bool admitted_any = false;
+        while (!waiting.empty() && active.size() < maxBatch_) {
+            // Refresh arrivals first: a prefill just paid advanced the
+            // clock, and anything that arrived meanwhile must be
+            // visible to order-sensitive policies (SJF, skip-ahead).
+            // FIFO is unaffected — late arrivals only join the tail.
+            pull_arrivals();
+            const std::string *batch_model =
+                active.empty() ? nullptr : &active.front()->req->model;
+            candidates.clear();
+            candidates.reserve(waiting.size());
+            for (const CostedRequest *c : waiting) {
+                AdmissionCandidate cand;
+                cand.promptLen = c->req->promptLen;
+                cand.decodeLen = c->req->decodeLen;
+                cand.admissible =
+                    (batch_model == nullptr ||
+                     c->req->model == *batch_model) &&
+                    (kvCapacityBytes_ <= 0.0 ||
+                     kv_in_use + c->kvBytes <= kvCapacityBytes_);
+                candidates.push_back(cand);
+            }
+            const std::size_t pick = scheduler_->pick(candidates);
+            if (pick == Scheduler::npos)
+                break;
+            panicIf(pick >= candidates.size() ||
+                        !candidates[pick].admissible,
+                    "scheduler picked an inadmissible request");
+            CostedRequest *c = waiting[pick];
+            waiting.erase(waiting.begin() +
+                          static_cast<std::ptrdiff_t>(pick));
+            c->admissionCycles = clock;
+            kv_in_use += c->kvBytes;
+            stats.kvPeakBytes = std::max(stats.kvPeakBytes, kv_in_use);
+            clock += c->prefillCycles;
+            stats.busyCycles += c->prefillCycles;
+            admitted_any = true;
+            if (c->remainingTokens == 0)
+                finish(*c);
+            else
+                active.push_back(c);
+        }
+
+        if (active.empty()) {
+            if (admitted_any)
+                continue; // everything admitted had zero decode tokens.
+            // Nothing active, nothing admissible: only future arrivals
+            // can unblock a (KV-starved) head, since an idle engine
+            // holds no KV. Covered by the idle jump above unless the
+            // scheduler violated its contract.
+            panicIf(waiting.empty() || kv_in_use > 0.0,
+                    "admission stalled with an idle engine");
+            panicIf(next_arrival >= order.size(),
+                    "admission livelock: waiting requests can never "
+                    "be admitted");
+            clock = std::max(clock,
+                             requests[order[next_arrival]].arrivalCycles);
+            continue;
+        }
+
+        // One decode iteration: everyone advances one token. The weight
+        // stream is fetched once for the whole batch (max, in cycles
+        // and in joules) and overlaps the batch's summed linear work;
+        // attention/SFU is per-request work on top.
+        double weight_cycles = 0.0;
+        double linear_cycles = 0.0;
+        double other_cycles = 0.0;
+        double fixed_cycles = 0.0;
+        double weight_joules = 0.0;
+        for (CostedRequest *c : active) {
+            weight_cycles =
+                std::max(weight_cycles, c->weightCyclesPerToken);
+            weight_joules =
+                std::max(weight_joules, c->weightJoulesPerToken);
+            linear_cycles += c->linearCyclesPerToken;
+            other_cycles += c->otherCyclesPerToken;
+            // Hop-latency floor: every request's collective is the
+            // same collective, so the batch pays it once.
+            fixed_cycles =
+                std::max(fixed_cycles, c->fixedCyclesPerToken);
+        }
+        // Everyone in the batch runs on the same accelerator, so the
+        // composition rule is uniform across the active set.
+        const double linear_segment = accel::composedLinearCycles(
+            weight_cycles, linear_cycles,
+            active.front()->memorySerialized);
+        const double iter_cycles =
+            linear_segment + fixed_cycles + other_cycles;
+        clock += iter_cycles;
+        stats.busyCycles += iter_cycles;
+        stats.occupancySum += static_cast<double>(active.size());
+        stats.peakBatch = std::max(stats.peakBatch, active.size());
+        ++stats.iterations;
+
+        const double weight_joules_share =
+            weight_joules / static_cast<double>(active.size());
+        for (auto it = active.begin(); it != active.end();) {
+            CostedRequest *c = *it;
+            c->joules += c->otherJoulesPerToken + weight_joules_share;
+            if (!c->firstTokenSeen) {
+                c->firstTokenSeen = true;
+                c->firstTokenCycles = clock;
+            }
+            if (--c->remainingTokens == 0) {
+                finish(*c);
+                it = active.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    stats.clockCycles = clock;
+    return stats;
+}
+
+} // namespace mcbp::engine

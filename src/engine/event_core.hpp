@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Discrete-event core of the serving engine.
+ *
+ * ServingSimulator costs every request from a batch-1 run of the
+ * underlying Accelerator (a CostedRequest); this core then plays the
+ * trace forward in cycle time: it pulls arrivals into the waiting
+ * queue, asks the pluggable Scheduler which waiting request to admit
+ * (charging its prefill and its KV-cache reservation), and advances
+ * the active batch one decode token per iteration, re-composing the
+ * shared weight stream against the batch's summed linear work exactly
+ * the way the wrapped model composed it at batch 1.
+ *
+ * Memory-boundedness lives here: every request reserves the KV bytes
+ * of its full (prompt + decode) residency at admission and releases
+ * them at completion, so in-flight KV can never exceed the configured
+ * capacity — requests queue instead (the vLLM-style conservative
+ * admission rule; with full reservation no preemption is ever needed,
+ * because an admitted request can always run to completion).
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "engine/scheduler.hpp"
+#include "model/request.hpp"
+
+namespace mcbp::engine {
+
+/** Precomputed cost model of one request (from a batch-1 run). */
+struct CostedRequest
+{
+    const model::Request *req = nullptr;
+    double arrivalCycles = 0.0;
+    double prefillCycles = 0.0;
+    /** Per-token weight-stream cycles (shared across a decode batch). */
+    double weightCyclesPerToken = 0.0;
+    /** Per-token linear work (GEMM + activations; per-request, but it
+     *  overlaps the shared weight stream). */
+    double linearCyclesPerToken = 0.0;
+    /** Per-token attention/SFU cycles (per-request, not overlapped). */
+    double otherCyclesPerToken = 0.0;
+    /** Fixed per-iteration latency floor (cluster all-reduce hops),
+     *  shared by the batch like the weight stream (max, not sum). */
+    double fixedCyclesPerToken = 0.0;
+    /** Composition rule of the wrapped model's linear segment
+     *  (see PhaseMetrics::memorySerialized). */
+    bool memorySerialized = false;
+    /** Energy split mirroring the cycle split, so the scheduler can
+     *  amortize the shared weight stream in joules too. */
+    double weightJoulesPerToken = 0.0;
+    double otherJoulesPerToken = 0.0;
+    double joules = 0.0; ///< Accumulated as the request is served.
+    /** KV-cache bytes this request holds resident once admitted
+     *  (full prompt + decode reservation). */
+    double kvBytes = 0.0;
+    std::size_t remainingTokens = 0;
+    bool firstTokenSeen = false;
+    double firstTokenCycles = 0.0;
+    /** Written by the event core as the request is served. */
+    double admissionCycles = 0.0;
+    double completionCycles = 0.0;
+};
+
+/** Aggregate outcome of one event-loop run, in cycles. */
+struct EventStats
+{
+    double clockCycles = 0.0;   ///< Final clock (makespan).
+    double busyCycles = 0.0;    ///< Engine-occupied cycles.
+    double occupancySum = 0.0;  ///< Sum of batch sizes over iterations.
+    std::size_t iterations = 0; ///< Decode iterations executed.
+    std::size_t peakBatch = 0;
+    double kvPeakBytes = 0.0;   ///< Peak in-flight KV residency.
+    /** Requests in completion order (admission/completion cycles set). */
+    std::vector<CostedRequest *> completed;
+};
+
+/** The event loop: one engine, one scheduler, one KV budget. */
+class EventCore
+{
+  public:
+    /** @param kvCapacityBytes 0 = unbounded. */
+    EventCore(const Scheduler &scheduler, std::size_t maxBatch,
+              double kvCapacityBytes);
+
+    /** Play @p requests to completion. */
+    EventStats run(std::vector<CostedRequest> &requests) const;
+
+  private:
+    const Scheduler *scheduler_;
+    std::size_t maxBatch_;
+    double kvCapacityBytes_;
+};
+
+} // namespace mcbp::engine

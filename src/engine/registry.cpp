@@ -9,6 +9,7 @@
 
 #include "common/logging.hpp"
 #include "engine/adapters.hpp"
+#include "engine/cluster.hpp"
 
 namespace mcbp::engine {
 
@@ -185,6 +186,58 @@ Registry::make(const std::string &spec) const
 {
     ParsedSpec p = parseSpec(spec);
 
+    // Cluster options apply to every design: `tp=N` shards the chip
+    // N-way (tensor parallel) behind a ClusterAccelerator; the link
+    // knobs refine its interconnect and therefore require tp=.
+    const bool clustered = p.options.count("tp") != 0;
+    ClusterOptions cluster;
+    if (clustered) {
+        cluster.tensorParallel = toCount("tp", p.options.at("tp"));
+        p.options.erase("tp");
+        fatalIf(cluster.tensorParallel == 0,
+                "tp must be >= 1 in spec '" + spec + "'");
+    }
+    if (clustered && cluster.tensorParallel > 1) {
+        auto takeLink = [&p](const char *key, double fallback,
+                             double min) {
+            auto it = p.options.find(key);
+            if (it == p.options.end())
+                return fallback;
+            const double v = toDouble(key, it->second);
+            fatalIf(v < min, "option '" + std::string(key) +
+                                 "' must be " +
+                                 (min > 0.0 ? "positive"
+                                            : "non-negative"));
+            p.options.erase(it);
+            return v;
+        };
+        // Only the bandwidth is a divisor; zero link energy or hop
+        // latency are meaningful ideal-fabric points.
+        cluster.interconnect.linkGBs =
+            takeLink("linkgbs", cluster.interconnect.linkGBs, 1e-12);
+        cluster.interconnect.pJPerBit =
+            takeLink("linkpj", cluster.interconnect.pJPerBit, 0.0);
+        cluster.interconnect.hopCycles =
+            takeLink("hops", cluster.interconnect.hopCycles, 0.0);
+    } else {
+        // Without a multi-chip fabric, link overrides would be silent
+        // no-ops (tp=1 never touches it); reject them by presence.
+        for (const char *key : {"linkgbs", "linkpj", "hops"})
+            fatalIf(p.options.count(key) != 0,
+                    "option '" + std::string(key) +
+                        (clustered
+                             ? "' has no effect at tp=1 in spec '"
+                             : "' requires tp= in spec '") +
+                        spec + "'");
+    }
+    auto finish = [&](std::unique_ptr<Accelerator> chip)
+        -> std::unique_ptr<Accelerator> {
+        if (!clustered)
+            return chip;
+        return std::make_unique<ClusterAccelerator>(std::move(chip),
+                                                    cluster);
+    };
+
     auto takeDouble = [&p](const char *key, double fallback) {
         auto it = p.options.find(key);
         if (it == p.options.end())
@@ -226,8 +279,8 @@ Registry::make(const std::string &spec) const
         o.enableBstc = takeBool("bstc", o.enableBstc);
         o.enableBgpp = takeBool("bgpp", o.enableBgpp);
         rejectUnknown(p);
-        return std::make_unique<McbpAdapter>(
-            accel::McbpAccelerator(hw_, o, profiles_));
+        return finish(std::make_unique<McbpAdapter>(
+            accel::McbpAccelerator(hw_, o, profiles_)));
     }
 
     if (p.name == "a100" || p.name == "a100-sw") {
@@ -240,8 +293,8 @@ Registry::make(const std::string &spec) const
         const double alpha = takeDouble("alpha", 0.6);
         const std::uint64_t seed = takeCount("seed", 1);
         rejectUnknown(p);
-        return std::make_unique<GpuAdapter>(accel::GpuParams{}, sw,
-                                            profiles_, alpha, seed);
+        return finish(std::make_unique<GpuAdapter>(
+            accel::GpuParams{}, sw, profiles_, alpha, seed));
     }
 
     if (const BaselineDef *def = findBaseline(p.name)) {
@@ -277,9 +330,8 @@ Registry::make(const std::string &spec) const
                 return accel::makeSystolic();
             };
         }
-        return std::make_unique<BaselineAdapter>(def->display, maker,
-                                                 def->caps, profiles_,
-                                                 hw_);
+        return finish(std::make_unique<BaselineAdapter>(
+            def->display, maker, def->caps, profiles_, hw_));
     }
 
     fatal("unknown accelerator spec '" + spec + "'");

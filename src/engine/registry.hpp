@@ -18,8 +18,13 @@
  *   alpha=X                  BGPP alpha_r / profiling alpha
  *   seed=N                   profiling seed
  *   brcr|bstc|bgpp=0|1       technique toggles (MCBP and A100)
+ *   tp=N                     shard across N tensor-parallel chips
+ *                            (any design; builds a ClusterAccelerator)
+ *   linkgbs|linkpj|hops=X    cluster interconnect: link GB/s, pJ/bit,
+ *                            per-hop cycles (require tp=)
  *
- * Examples: "mcbp:procs=148", "mcbp:bgpp=0", "a100:bstc=1,bgpp=1".
+ * Examples: "mcbp:procs=148", "mcbp:bgpp=0", "a100:bstc=1,bgpp=1",
+ *           "mcbp:procs=148,tp=4", "a100:tp=8,linkgbs=600".
  *
  * All accelerators built by one Registry share one thread-safe
  * accel::ProfileCache, so a fleet profiles each workload exactly once.

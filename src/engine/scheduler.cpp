@@ -1,0 +1,110 @@
+#include "engine/scheduler.hpp"
+
+#include "common/logging.hpp"
+
+namespace mcbp::engine {
+
+namespace {
+
+/** Strict FIFO: the queue head or nobody (head-of-line blocking). */
+class FifoScheduler final : public Scheduler
+{
+  public:
+    std::string name() const override { return "fifo"; }
+
+    std::size_t
+    pick(const std::vector<AdmissionCandidate> &waiting) const override
+    {
+        if (!waiting.empty() && waiting.front().admissible)
+            return 0;
+        return npos;
+    }
+};
+
+/** Oldest admissible request; a blocked head no longer stalls peers. */
+class SkipAheadScheduler final : public Scheduler
+{
+  public:
+    std::string name() const override { return "skip-ahead"; }
+
+    std::size_t
+    pick(const std::vector<AdmissionCandidate> &waiting) const override
+    {
+        for (std::size_t i = 0; i < waiting.size(); ++i)
+            if (waiting[i].admissible)
+                return i;
+        return npos;
+    }
+};
+
+/** Shortest admissible prompt (SJF on prefill cost; ties by age). */
+class ShortestPromptScheduler final : public Scheduler
+{
+  public:
+    std::string name() const override { return "shortest-prompt"; }
+
+    std::size_t
+    pick(const std::vector<AdmissionCandidate> &waiting) const override
+    {
+        std::size_t best = npos;
+        for (std::size_t i = 0; i < waiting.size(); ++i) {
+            if (!waiting[i].admissible)
+                continue;
+            if (best == npos ||
+                waiting[i].promptLen < waiting[best].promptLen)
+                best = i;
+        }
+        return best;
+    }
+};
+
+} // namespace
+
+std::string
+toString(SchedulerPolicy policy)
+{
+    switch (policy) {
+    case SchedulerPolicy::Fifo:
+        return "fifo";
+    case SchedulerPolicy::SkipAhead:
+        return "skip-ahead";
+    case SchedulerPolicy::ShortestPromptFirst:
+        return "shortest-prompt";
+    }
+    panic("unhandled scheduler policy");
+}
+
+SchedulerPolicy
+schedulerPolicyFromString(const std::string &name)
+{
+    for (SchedulerPolicy p : allSchedulerPolicies())
+        if (name == toString(p))
+            return p;
+    fatal("unknown scheduler policy '" + name +
+          "' (expected fifo, skip-ahead or shortest-prompt)");
+}
+
+const std::vector<SchedulerPolicy> &
+allSchedulerPolicies()
+{
+    static const std::vector<SchedulerPolicy> all = {
+        SchedulerPolicy::Fifo, SchedulerPolicy::SkipAhead,
+        SchedulerPolicy::ShortestPromptFirst};
+    return all;
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerPolicy policy)
+{
+    switch (policy) {
+    case SchedulerPolicy::Fifo:
+        return std::make_unique<FifoScheduler>();
+    case SchedulerPolicy::SkipAhead:
+        return std::make_unique<SkipAheadScheduler>();
+    case SchedulerPolicy::ShortestPromptFirst:
+        return std::make_unique<ShortestPromptScheduler>();
+    }
+    panic("unhandled scheduler policy");
+}
+
+} // namespace mcbp::engine

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Pluggable admission schedulers for the serving engine.
+ *
+ * The discrete-event core (event_core.hpp) owns the mechanics — the
+ * clock, arrivals, KV accounting, decode iterations — and delegates
+ * exactly one decision to a Scheduler: given the waiting queue (in
+ * arrival order) and which entries are currently admissible (free batch
+ * slot, same model as the running batch, KV reservation fits), which
+ * request is admitted next?
+ *
+ * Three policies ship:
+ *  - strict FIFO: admit the queue head or nobody. A different-model or
+ *    KV-blocked head stalls admission (head-of-line blocking), which
+ *    bounds every request's wait — the PR-1 behaviour, and the default.
+ *  - skip-ahead: admit the oldest admissible request, skipping a
+ *    blocked head so same-model traffic keeps batching through a model
+ *    switch or a KV-capacity stall.
+ *  - shortest-prompt-first: admit the admissible request with the
+ *    shortest prompt (ties by age), trading worst-case wait for lower
+ *    mean latency under mixed prompt lengths (SJF on the prefill cost).
+ */
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcbp::engine {
+
+/** Selectable admission policies (ServingOptions::policy). */
+enum class SchedulerPolicy
+{
+    Fifo,
+    SkipAhead,
+    ShortestPromptFirst,
+};
+
+/** Canonical name, e.g. "fifo", "skip-ahead", "shortest-prompt". */
+std::string toString(SchedulerPolicy policy);
+
+/** Parse a policy name; fatal() on unknown names. */
+SchedulerPolicy schedulerPolicyFromString(const std::string &name);
+
+/** All selectable policies (for sweeps and validation messages). */
+const std::vector<SchedulerPolicy> &allSchedulerPolicies();
+
+/** One waiting request, as the scheduler sees it. */
+struct AdmissionCandidate
+{
+    std::size_t promptLen = 0;
+    std::size_t decodeLen = 0;
+    /** Free slot + model compatible + KV reservation fits, right now. */
+    bool admissible = false;
+};
+
+/** Admission-order policy. Stateless; the event core owns all state. */
+class Scheduler
+{
+  public:
+    /** Returned by pick() when nothing should be admitted yet. */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    virtual ~Scheduler() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Index into @p waiting (arrival order) of the request to admit
+     * next, or npos to wait. Must return an admissible index.
+     */
+    virtual std::size_t
+    pick(const std::vector<AdmissionCandidate> &waiting) const = 0;
+};
+
+/** Build the scheduler implementing @p policy. */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerPolicy policy);
+
+} // namespace mcbp::engine

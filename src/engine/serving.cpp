@@ -1,41 +1,15 @@
 #include "engine/serving.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <numeric>
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
+#include "engine/event_core.hpp"
 
 namespace mcbp::engine {
 
 namespace {
-
-/** Precomputed cost model of one request (from a batch-1 run). */
-struct RequestCost
-{
-    const model::Request *req = nullptr;
-    double arrivalCycles = 0.0;
-    double prefillCycles = 0.0;
-    /** Per-token weight-stream cycles (shared across a decode batch). */
-    double weightCyclesPerToken = 0.0;
-    /** Per-token linear work (GEMM + activations; per-request, but it
-     *  overlaps the shared weight stream). */
-    double linearCyclesPerToken = 0.0;
-    /** Per-token attention/SFU cycles (per-request, not overlapped). */
-    double otherCyclesPerToken = 0.0;
-    /** Composition rule of the wrapped model's linear segment
-     *  (see PhaseMetrics::memorySerialized). */
-    bool memorySerialized = false;
-    /** Energy split mirroring the cycle split, so the scheduler can
-     *  amortize the shared weight stream in joules too. */
-    double weightJoulesPerToken = 0.0;
-    double otherJoulesPerToken = 0.0;
-    double joules = 0.0; ///< Accumulated as the request is served.
-    std::size_t remainingTokens = 0;
-    bool firstTokenSeen = false;
-    double firstTokenCycles = 0.0;
-};
 
 /** Decode-energy fraction attributable to the weight stream (HBM
  *  weight traffic + BSTC/Huffman decode), which a batch shares. */
@@ -61,7 +35,7 @@ ServingSimulator::ServingSimulator(const Accelerator &accel,
                                    ServingOptions opts)
     : accel_(&accel), opts_(opts)
 {
-    fatalIf(opts_.maxBatch == 0, "maxBatch must be positive");
+    // Option bounds are enforced by EventCore, which owns them.
 }
 
 ServingReport
@@ -74,7 +48,7 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
 
     // ---- Cost each request with a batch-1 run ---------------------------
     double clock_ghz = 0.0;
-    std::vector<RequestCost> costs;
+    std::vector<CostedRequest> costs;
     costs.reserve(trace.size());
     for (const model::Request &req : trace) {
         const model::LlmConfig &m = model::findModel(req.model);
@@ -83,10 +57,14 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
                 "accelerator changed clock between requests");
         clock_ghz = rm.clockGhz;
 
-        RequestCost c;
+        CostedRequest c;
         c.req = &req;
         c.arrivalCycles = req.arrivalSeconds * clock_ghz * 1e9;
         c.prefillCycles = rm.prefill.cycles;
+        // Full-residency reservation: the prompt's KV plus every token
+        // the request will generate, held until completion.
+        c.kvBytes = static_cast<double>(m.kvBytesPerToken()) *
+                    static_cast<double>(req.promptLen + req.decodeLen);
         const double procs = static_cast<double>(rm.processors);
         // Start from the prefill energy; decode energy accrues per
         // served token with the weight stream amortized.
@@ -100,14 +78,14 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
             c.memorySerialized = rm.decode.memorySerialized;
             c.weightCyclesPerToken = rm.decode.weightStreamCycles / steps;
             c.linearCyclesPerToken = rm.decode.linearWorkCycles / steps;
-            const double linear_segment =
-                c.memorySerialized
-                    ? rm.decode.weightStreamCycles +
-                          rm.decode.linearWorkCycles
-                    : std::max(rm.decode.weightStreamCycles,
-                               rm.decode.linearWorkCycles);
+            const double linear_segment = accel::composedLinearCycles(
+                rm.decode.weightStreamCycles,
+                rm.decode.linearWorkCycles, c.memorySerialized);
+            c.fixedCyclesPerToken = rm.decode.fixedStepCycles / steps;
             c.otherCyclesPerToken =
-                std::max(0.0, rm.decode.cycles - linear_segment) / steps;
+                std::max(0.0, rm.decode.cycles - linear_segment -
+                                  rm.decode.fixedStepCycles) /
+                steps;
             const double decode_joules =
                 rm.decode.energy.totalPj() * 1e-12 * procs;
             const double wf = weightEnergyFraction(rm.decode);
@@ -120,135 +98,51 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
         report.serialSeconds += rm.seconds();
         report.serialJoules += rm.joules();
     }
-    // Process arrivals in order regardless of the trace's sort.
-    std::vector<std::size_t> order(costs.size());
-    for (std::size_t i = 0; i < order.size(); ++i)
-        order[i] = i;
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                         return costs[a].arrivalCycles <
-                                costs[b].arrivalCycles;
-                     });
 
-    // ---- Continuous-batching event loop ---------------------------------
-    const double to_seconds = 1.0 / (clock_ghz * 1e9);
-    double clock = 0.0;
-    double busy = 0.0;
-    double occupancy_sum = 0.0;
-    std::size_t iterations = 0;
-    std::size_t next_arrival = 0;
-    std::deque<RequestCost *> waiting;
-    std::vector<RequestCost *> active;
-    std::string current_model;
-
-    auto finish = [&](RequestCost &c) {
-        RequestMetrics rmx;
-        rmx.id = c.req->id;
-        rmx.arrivalSeconds = c.req->arrivalSeconds;
-        rmx.firstTokenSeconds =
-            (c.firstTokenSeen ? c.firstTokenCycles : clock) * to_seconds;
-        rmx.completionSeconds = clock * to_seconds;
-        rmx.decodeTokens = c.req->decodeLen;
-        rmx.joules = c.joules;
-        report.requests.push_back(rmx);
-    };
-
-    const std::size_t total = costs.size();
-    while (report.requests.size() < total) {
-        // Pull arrivals that happened by now into the waiting queue.
-        while (next_arrival < order.size() &&
-               costs[order[next_arrival]].arrivalCycles <= clock)
-            waiting.push_back(&costs[order[next_arrival++]]);
-
-        // Idle engine: jump to the next arrival.
-        if (active.empty() && waiting.empty()) {
-            panicIf(next_arrival >= order.size(),
-                    "serving scheduler stalled with requests pending");
-            clock = costs[order[next_arrival]].arrivalCycles;
-            continue;
-        }
-
-        // The engine serves one model at a time; pick the oldest
-        // outstanding request's model when the batch drains.
-        if (active.empty() && !waiting.empty())
-            current_model = waiting.front()->req->model;
-
-        // Admit waiting requests into free slots in strict FIFO order;
-        // each pays its prefill before joining the decode batch. A
-        // different-model request at the queue head stops admission
-        // (drain, then switch) — skipping it would starve that model
-        // under continuous same-model arrivals.
-        while (!waiting.empty() && active.size() < opts_.maxBatch &&
-               waiting.front()->req->model == current_model) {
-            RequestCost *c = waiting.front();
-            waiting.pop_front();
-            clock += c->prefillCycles;
-            busy += c->prefillCycles;
-            if (c->remainingTokens == 0)
-                finish(*c);
-            else
-                active.push_back(c);
-        }
-
-        if (active.empty())
-            continue; // everything admitted had zero decode tokens.
-
-        // One decode iteration: everyone advances one token. The weight
-        // stream is fetched once for the whole batch (max, in cycles
-        // and in joules) and overlaps the batch's summed linear work;
-        // attention/SFU is per-request work on top.
-        double weight_cycles = 0.0;
-        double linear_cycles = 0.0;
-        double other_cycles = 0.0;
-        double weight_joules = 0.0;
-        for (RequestCost *c : active) {
-            weight_cycles =
-                std::max(weight_cycles, c->weightCyclesPerToken);
-            weight_joules =
-                std::max(weight_joules, c->weightJoulesPerToken);
-            linear_cycles += c->linearCyclesPerToken;
-            other_cycles += c->otherCyclesPerToken;
-        }
-        // Everyone in the batch runs on the same accelerator, so the
-        // composition rule is uniform across the active set.
-        const double linear_segment =
-            active.front()->memorySerialized
-                ? weight_cycles + linear_cycles
-                : std::max(weight_cycles, linear_cycles);
-        const double iter_cycles = linear_segment + other_cycles;
-        clock += iter_cycles;
-        busy += iter_cycles;
-        occupancy_sum += static_cast<double>(active.size());
-        report.peakBatch = std::max(report.peakBatch, active.size());
-        ++iterations;
-
-        const double weight_joules_share =
-            weight_joules / static_cast<double>(active.size());
-        for (auto it = active.begin(); it != active.end();) {
-            RequestCost *c = *it;
-            c->joules += c->otherJoulesPerToken + weight_joules_share;
-            if (!c->firstTokenSeen) {
-                c->firstTokenSeen = true;
-                c->firstTokenCycles = clock;
-            }
-            if (--c->remainingTokens == 0) {
-                finish(*c);
-                it = active.erase(it);
-            } else {
-                ++it;
-            }
-        }
-    }
+    // ---- Discrete-event loop under the selected policy ------------------
+    const std::unique_ptr<Scheduler> scheduler =
+        makeScheduler(opts_.policy);
+    report.scheduler = scheduler->name();
+    const EventCore core(*scheduler, opts_.maxBatch,
+                         opts_.kvCapacityBytes);
+    const EventStats stats = core.run(costs);
 
     // ---- Aggregate ------------------------------------------------------
-    report.makespanSeconds = clock * to_seconds;
-    report.busySeconds = busy * to_seconds;
+    const double to_seconds = 1.0 / (clock_ghz * 1e9);
+    report.requests.reserve(stats.completed.size());
+    for (const CostedRequest *c : stats.completed) {
+        RequestMetrics rmx;
+        rmx.id = c->req->id;
+        rmx.arrivalSeconds = c->req->arrivalSeconds;
+        rmx.admissionSeconds = c->admissionCycles * to_seconds;
+        rmx.firstTokenSeconds =
+            (c->firstTokenSeen ? c->firstTokenCycles
+                               : c->completionCycles) *
+            to_seconds;
+        rmx.completionSeconds = c->completionCycles * to_seconds;
+        rmx.decodeTokens = c->req->decodeLen;
+        rmx.kvBytes = c->kvBytes;
+        rmx.joules = c->joules;
+        report.requests.push_back(rmx);
+    }
+
+    report.makespanSeconds = stats.clockCycles * to_seconds;
+    report.busySeconds = stats.busyCycles * to_seconds;
+    report.peakBatch = stats.peakBatch;
+    report.kvPeakBytes = stats.kvPeakBytes;
+    report.kvUtilization = opts_.kvCapacityBytes > 0.0
+                               ? stats.kvPeakBytes / opts_.kvCapacityBytes
+                               : 0.0;
+
     std::vector<double> latencies;
+    std::vector<double> queue_waits;
     latencies.reserve(report.requests.size());
+    queue_waits.reserve(report.requests.size());
     double total_tokens = 0.0;
     double total_joules = 0.0;
     for (const RequestMetrics &r : report.requests) {
         latencies.push_back(r.latencySeconds());
+        queue_waits.push_back(r.queueSeconds());
         total_tokens += static_cast<double>(r.decodeTokens);
         total_joules += r.joules;
     }
@@ -260,14 +154,18 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
     report.p50LatencySeconds = percentileSorted(latencies, 0.50);
     report.p90LatencySeconds = percentileSorted(latencies, 0.90);
     report.p99LatencySeconds = percentileSorted(latencies, 0.99);
+    std::sort(queue_waits.begin(), queue_waits.end());
+    report.p50QueueSeconds = percentileSorted(queue_waits, 0.50);
+    report.p90QueueSeconds = percentileSorted(queue_waits, 0.90);
+    report.p99QueueSeconds = percentileSorted(queue_waits, 0.99);
     report.tokensPerSecond = report.makespanSeconds > 0.0
                                  ? total_tokens / report.makespanSeconds
                                  : 0.0;
     report.joulesPerToken =
         total_tokens > 0.0 ? total_joules / total_tokens : 0.0;
     report.meanBatchOccupancy =
-        iterations > 0
-            ? occupancy_sum / static_cast<double>(iterations)
+        stats.iterations > 0
+            ? stats.occupancySum / static_cast<double>(stats.iterations)
             : 0.0;
     return report;
 }

@@ -10,6 +10,14 @@
  * requests by one decode token, retiring finished ones immediately
  * (continuous batching, as in Orca/vLLM).
  *
+ * The simulator splits into two layers:
+ *  - this file costs each request from a batch-1 run of the wrapped
+ *    Accelerator and aggregates the report;
+ *  - event_core.hpp plays the costed trace through a discrete-event
+ *    loop, delegating admission order to a pluggable Scheduler
+ *    (scheduler.hpp: strict FIFO, skip-ahead same-model batching, or
+ *    shortest-prompt-first) and enforcing the KV-capacity budget.
+ *
  * The cost model is built from the per-phase PhaseMetrics the unified
  * run() interface already produces for a batch-1 run of each request:
  *   - prefill costs the request's own prefill cycles;
@@ -23,10 +31,18 @@
  * This makes batched total busy time provably <= the serial sum of the
  * individual runs, with equality at maxBatch=1.
  *
- * Requests for different models never share a batch: admission is
- * strict FIFO, so a different-model request at the queue head pauses
+ * Serving is memory-bounded when a KV capacity is configured: each
+ * request reserves kvBytesPerToken x (prompt + decode) bytes at
+ * admission and holds them until completion, so peak KV residency
+ * (reported as kvPeakBytes) never exceeds the budget; requests queue
+ * while they do not fit, and the queue-time percentiles expose the
+ * wait that costs.
+ *
+ * Requests for different models never share a batch. Under the default
+ * strict-FIFO policy a different-model request at the queue head pauses
  * admission until the current batch drains (bounded wait — skipping it
- * would starve that model under continuous same-model arrivals).
+ * would starve that model under continuous same-model arrivals); the
+ * skip-ahead policy makes the opposite trade.
  */
 #pragma once
 
@@ -35,6 +51,7 @@
 #include <vector>
 
 #include "engine/accelerator.hpp"
+#include "engine/scheduler.hpp"
 #include "model/request.hpp"
 
 namespace mcbp::engine {
@@ -44,6 +61,14 @@ struct ServingOptions
 {
     /** Maximum requests decoding together (continuous batch size). */
     std::size_t maxBatch = 32;
+    /** Admission-order policy (see scheduler.hpp). */
+    SchedulerPolicy policy = SchedulerPolicy::Fifo;
+    /**
+     * KV-cache capacity in bytes the in-flight requests may hold
+     * (0 = unbounded). A deployment derives it from the accelerator's
+     * Capabilities::hbmCapacityBytes minus the resident weights.
+     */
+    double kvCapacityBytes = 0.0;
 };
 
 /** Per-request outcome. */
@@ -51,9 +76,13 @@ struct RequestMetrics
 {
     std::size_t id = 0;
     double arrivalSeconds = 0.0;
+    /** Admission = start of this request's prefill (queue wait ends). */
+    double admissionSeconds = 0.0;
     double firstTokenSeconds = 0.0; ///< End of the first decode step.
     double completionSeconds = 0.0;
     std::size_t decodeTokens = 0;
+    /** KV bytes this request held resident while in flight. */
+    double kvBytes = 0.0;
     /** Energy attributed to this request, with the shared decode
      *  weight stream amortized across its batch mates. */
     double joules = 0.0;
@@ -62,12 +91,19 @@ struct RequestMetrics
     {
         return completionSeconds - arrivalSeconds;
     }
+
+    /** Time spent queued before the engine started the prefill. */
+    double queueSeconds() const
+    {
+        return admissionSeconds - arrivalSeconds;
+    }
 };
 
 /** Aggregate serving outcome. */
 struct ServingReport
 {
     std::string accelerator;
+    std::string scheduler; ///< Admission policy name.
     /** Per-request metrics, in completion order. */
     std::vector<RequestMetrics> requests;
 
@@ -84,10 +120,20 @@ struct ServingReport
     double p90LatencySeconds = 0.0;
     double p99LatencySeconds = 0.0;
 
+    /** Queue-time (arrival -> admission) percentiles. */
+    double p50QueueSeconds = 0.0;
+    double p90QueueSeconds = 0.0;
+    double p99QueueSeconds = 0.0;
+
     double tokensPerSecond = 0.0; ///< Generated tokens / makespan.
     double joulesPerToken = 0.0;
     double meanBatchOccupancy = 0.0; ///< Mean in-flight per iteration.
     std::size_t peakBatch = 0;
+
+    /** Peak in-flight KV residency over the run. */
+    double kvPeakBytes = 0.0;
+    /** kvPeakBytes / configured capacity (0 when unbounded). */
+    double kvUtilization = 0.0;
 
     /** Throughput gain of batching vs serving the trace serially. */
     double batchingSpeedup() const

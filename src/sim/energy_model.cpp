@@ -22,6 +22,8 @@ EnergyBreakdown::toString() const
     line("sram", sramPj);
     line("dram", dramPj);
     line("sfu", sfuPj);
+    if (interconnectPj > 0.0)
+        line("interconnect", interconnectPj);
     return os.str();
 }
 

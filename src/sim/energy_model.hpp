@@ -52,15 +52,19 @@ struct EnergyBreakdown
     double sramPj = 0.0;       ///< On-chip buffer traffic.
     double dramPj = 0.0;       ///< HBM traffic.
     double sfuPj = 0.0;        ///< Softmax / LayerNorm / GELU.
+    double interconnectPj = 0.0; ///< Chip-to-chip collectives (clusters).
 
     double totalPj() const
     {
         return computePj + bitReorderPj + camPj + codecPj + bgppPj +
-               sramPj + dramPj + sfuPj;
+               sramPj + dramPj + sfuPj + interconnectPj;
     }
 
-    /** On-chip (non-DRAM) energy. */
-    double onChipPj() const { return totalPj() - dramPj; }
+    /** On-chip energy (excludes DRAM and off-package interconnect). */
+    double onChipPj() const
+    {
+        return totalPj() - dramPj - interconnectPj;
+    }
 
     void
     merge(const EnergyBreakdown &o)
@@ -73,6 +77,7 @@ struct EnergyBreakdown
         sramPj += o.sramPj;
         dramPj += o.dramPj;
         sfuPj += o.sfuPj;
+        interconnectPj += o.interconnectPj;
     }
 
     std::string toString() const;

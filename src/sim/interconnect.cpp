@@ -1,0 +1,31 @@
+#include "sim/interconnect.hpp"
+
+#include "common/logging.hpp"
+
+namespace mcbp::sim {
+
+Interconnect::Interconnect(const InterconnectConfig &cfg, double clockGhz)
+    : cfg_(cfg), bytesPerCycle_(cfg.linkGBs / clockGhz)
+{
+    fatalIf(cfg.linkGBs <= 0.0, "interconnect link bandwidth must be > 0");
+    fatalIf(cfg.pJPerBit < 0.0, "interconnect pJ/bit must be >= 0");
+    fatalIf(clockGhz <= 0.0, "interconnect needs a positive core clock");
+}
+
+InterconnectCost
+Interconnect::allReduce(double bytes, std::size_t chips) const
+{
+    InterconnectCost cost;
+    if (chips <= 1 || bytes <= 0.0)
+        return cost;
+    const double n = static_cast<double>(chips);
+    // Ring all-reduce: each chip moves 2(N-1)/N of the vector over
+    // 2(N-1) pipeline steps (reduce-scatter then all-gather).
+    const double per_chip_bytes = 2.0 * (n - 1.0) / n * bytes;
+    cost.bandwidthCycles = per_chip_bytes / bytesPerCycle_;
+    cost.latencyCycles = 2.0 * (n - 1.0) * cfg_.hopCycles;
+    cost.energyPj = per_chip_bytes * 8.0 * cfg_.pJPerBit;
+    return cost;
+}
+
+} // namespace mcbp::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Chip-to-chip interconnect cost model for multi-chip (tensor-parallel)
+ * accelerator clusters.
+ *
+ * Sharding one model across N chips splits the weight stream and the
+ * per-layer linear/attention work 1/N ways, but adds collective
+ * communication: Megatron-style tensor parallelism performs one
+ * all-reduce of the layer's activations after the attention output
+ * projection and one after the FFN down projection (2 per decoder
+ * layer). This module prices those collectives in core cycles and
+ * picojoules under a ring all-reduce, the same role sim/hbm.* plays for
+ * main memory: a small analytic stand-in that preserves the effects the
+ * cluster study depends on — a bandwidth term that scales with
+ * 2(N-1)/N of the reduced bytes, a per-hop latency floor, and a link
+ * energy per bit that no amount of parallelism removes.
+ */
+#pragma once
+
+#include <cstddef>
+
+namespace mcbp::sim {
+
+/** Link parameters of the chip-to-chip fabric. */
+struct InterconnectConfig
+{
+    /** Per-chip link bandwidth in GB/s (NVLink-class default). */
+    double linkGBs = 300.0;
+    /** Link + SerDes transfer energy per bit (off-package signaling). */
+    double pJPerBit = 10.0;
+    /** Per-hop latency of one ring step, in core cycles. */
+    double hopCycles = 100.0;
+    /** Bytes per reduced activation element (FP16 partial sums). */
+    double bytesPerActivation = 2.0;
+};
+
+/** Per-chip cost of one collective. */
+struct InterconnectCost
+{
+    /** Serialization of the moved bytes (scales with vector size). */
+    double bandwidthCycles = 0.0;
+    /** Fixed hop-latency floor (independent of vector size — a batch
+     *  of requests sharing one collective pays it once). */
+    double latencyCycles = 0.0;
+    double energyPj = 0.0; ///< Energy spent by ONE chip's link traffic.
+
+    double cycles() const { return bandwidthCycles + latencyCycles; }
+};
+
+/** Analytic ring-collective model over one link configuration. */
+class Interconnect
+{
+  public:
+    /** @param clockGhz core clock the returned cycles are counted in. */
+    Interconnect(const InterconnectConfig &cfg, double clockGhz);
+
+    /**
+     * Ring all-reduce of a @p bytes vector across @p chips.
+     * Each chip sends/receives 2(N-1)/N x bytes over 2(N-1) hops
+     * (reduce-scatter + all-gather); the returned cost is per chip, so
+     * a cluster charges it once on its critical path and once per chip
+     * in energy. N = 1 is free.
+     */
+    InterconnectCost allReduce(double bytes, std::size_t chips) const;
+
+    /** Link bandwidth expressed in bytes per core cycle. */
+    double bytesPerCycle() const { return bytesPerCycle_; }
+
+    const InterconnectConfig &config() const { return cfg_; }
+
+  private:
+    InterconnectConfig cfg_;
+    double bytesPerCycle_;
+};
+
+} // namespace mcbp::sim

@@ -25,7 +25,7 @@ McbpConfig::toString() const
     os << "  Main memory         : HBM2, " << hbmChannels << " x "
        << hbmChannelBits << "-bit channels @ " << hbmClockGhz
        << " GHz, " << hbmBitsPerCoreCycle << " bit/core-cycle, "
-       << hbmEnergyPjPerBit << " pJ/bit\n";
+       << hbmEnergyPjPerBit << " pJ/bit, " << hbmCapacityGb << " GB\n";
     os << "  Tiling              : TM=" << tileM << " TK=" << tileK
        << " TN=" << tileN << ", group size m=" << groupSize << "\n";
     return os.str();

@@ -71,6 +71,10 @@ struct McbpConfig
     double hbmEnergyPjPerBit = 4.0;        ///< [O'Connor et al.]
     std::size_t hbmRowBytes = 1024;        ///< Row-buffer granularity.
     double hbmRowActivateCycles = 14.0;    ///< tRCD-ish penalty per miss.
+    /** Per-chip HBM stack capacity in GB (bounds resident weights +
+     *  KV cache; the serving engine's admission control charges
+     *  per-request KV bytes against it). */
+    double hbmCapacityGb = 16.0;
 
     /** Total on-chip SRAM (kB); the evaluation fixes 1248 kB. */
     std::size_t totalSramKb() const

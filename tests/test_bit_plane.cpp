@@ -84,6 +84,37 @@ TEST(BitPlane, ColumnPatternsMatchScalar)
     }
 }
 
+TEST(BitPlane, PatternsAtBlocksMatchScalar)
+{
+    Rng rng(9);
+    BitPlane p(8, 200); // 4 words per row, last one partial (8 cols)
+    for (std::size_t r = 0; r < 8; ++r)
+        for (std::size_t c = 0; c < 200; ++c)
+            p.set(r, c, rng.bernoulli(0.1));
+    std::uint32_t block[64];
+    for (std::size_t row0 = 0; row0 < 8; row0 += 4) {
+        for (std::size_t w = 0; w < 4; ++w) {
+            const std::size_t width = p.patternsAt(row0, 4, w, block);
+            ASSERT_EQ(width, w < 3 ? 64u : 8u);
+            for (std::size_t c = 0; c < width; ++c)
+                EXPECT_EQ(block[c],
+                          p.columnPattern(row0, 4, (w << 6) + c));
+        }
+    }
+}
+
+TEST(BitPlane, PatternsAtZeroBlockFastPath)
+{
+    BitPlane p(4, 128);
+    p.set(1, 100, true); // word 0 stays all-zero, word 1 does not.
+    std::uint32_t block[64];
+    ASSERT_EQ(p.patternsAt(0, 4, 0, block), 64u);
+    for (std::size_t c = 0; c < 64; ++c)
+        EXPECT_EQ(block[c], 0u);
+    ASSERT_EQ(p.patternsAt(0, 4, 1, block), 64u);
+    EXPECT_EQ(block[100 - 64], 2u); // row 1 -> bit 1 of the pattern.
+}
+
 TEST(BitPlane, Equality)
 {
     BitPlane a(4, 4), b(4, 4);
