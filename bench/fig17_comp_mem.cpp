@@ -32,6 +32,9 @@ main()
     enum { kSofa, kSpatten, kFact, kBitwave, kFusekna, kEnergon, kMcbp };
     auto fleet = registry.fleet({"sofa", "spatten", "fact", "bitwave",
                                  "fusekna", "energon", "mcbp"});
+    // Profile the whole working set on all cores before the serial
+    // figure loop (bit-identical stats either way).
+    registry.warmFleet(fleet, model::modelZoo(), {task});
 
     Table comp({"Model", "SOFA", "Spatten", "FACT", "Bitwave", "FuseKNA",
                 "MCBP"});

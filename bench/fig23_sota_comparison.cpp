@@ -26,6 +26,11 @@ main()
     engine::Registry registry;
     auto fleet = registry.fleet(
         {"sofa", "spatten", "fact", "bitwave", "fusekna", "mcbp"});
+    // Profile the whole working set on all cores before the serial
+    // figure loops (bit-identical stats either way).
+    registry.warmFleet(fleet, {m}, {model::findTask("Dolly"),
+                                    model::findTask("Wikilingua"),
+                                    model::findTask("MBPP")});
 
     for (bool decode_stage : {false, true}) {
         bench::banner(std::string("Fig 23: ") +

@@ -10,12 +10,15 @@
 
 #include "bgpp/bgpp_predictor.hpp"
 #include "bitslice/sign_magnitude.hpp"
+#include "bitslice/sparsity.hpp"
 #include "brcr/brcr_engine.hpp"
 #include "brcr/cam.hpp"
+#include "brcr/enumeration.hpp"
 #include "bstc/codec.hpp"
 #include "common/rng.hpp"
 #include "model/synthetic.hpp"
 #include "quant/gemm.hpp"
+#include "reference_kernels.hpp"
 
 using namespace mcbp;
 
@@ -147,6 +150,74 @@ BM_ColumnPatternsWord(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 64 * 2048);
 }
 BENCHMARK(BM_ColumnPatternsWord);
+
+/**
+ * Reference pattern-dedup for one group: a fresh unordered_map per
+ * call, the pre-direct-index factorizeGroup (shared baseline in
+ * bench/reference_kernels.hpp). Kept as the "before" of
+ * BM_FactorizeGroupDirect.
+ */
+void
+BM_FactorizeGroupHashed(benchmark::State &state)
+{
+    quant::QuantizedWeight qw = makeWeights(64, 2048);
+    bitslice::SignMagnitude sm =
+        bitslice::decompose(qw.values, quant::BitWidth::Int8);
+    const bitslice::BitPlane &plane = sm.magnitude[5];
+    for (auto _ : state) {
+        for (std::size_t row0 = 0; row0 < plane.rows(); row0 += 4) {
+            auto fact = bench::factorizeGroupHashed(plane, row0, 4);
+            benchmark::DoNotOptimize(fact.patterns.data());
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 2048);
+}
+BENCHMARK(BM_FactorizeGroupHashed);
+
+/**
+ * The shipping fast path: direct-index 2^m table + reused scratch and
+ * output (see brcr/enumeration.hpp). Same walk as above, no hashing
+ * and no per-group allocations.
+ */
+void
+BM_FactorizeGroupDirect(benchmark::State &state)
+{
+    quant::QuantizedWeight qw = makeWeights(64, 2048);
+    bitslice::SignMagnitude sm =
+        bitslice::decompose(qw.values, quant::BitWidth::Int8);
+    const bitslice::BitPlane &plane = sm.magnitude[5];
+    brcr::GroupScratch scratch;
+    brcr::GroupFactorization fact;
+    for (auto _ : state) {
+        for (std::size_t row0 = 0; row0 < plane.rows(); row0 += 4) {
+            brcr::factorizeGroup(plane, row0, 4, scratch, fact);
+            benchmark::DoNotOptimize(fact.patterns.data());
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 2048);
+}
+BENCHMARK(BM_FactorizeGroupDirect);
+
+/**
+ * Fig 5(b) cost comparison over one plane. The full-column dedup
+ * inside builds its ColumnKeys word-parallel from packed plane words
+ * (bitslice/sparsity.cpp); the pre-rewrite per-bit walk cost ~1.9x
+ * more on this shape (see bench_profiling_speed for the side-by-side).
+ */
+void
+BM_CompareMergeStrategies(benchmark::State &state)
+{
+    quant::QuantizedWeight qw = makeWeights(64, 2048);
+    bitslice::SignMagnitude sm =
+        bitslice::decompose(qw.values, quant::BitWidth::Int8);
+    const bitslice::BitPlane &plane = sm.magnitude[5];
+    for (auto _ : state) {
+        auto cost = bitslice::compareMergeStrategies(plane, 4);
+        benchmark::DoNotOptimize(&cost);
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 2048);
+}
+BENCHMARK(BM_CompareMergeStrategies);
 
 void
 BM_BstcEncode(benchmark::State &state)

@@ -10,6 +10,7 @@
 #include "bstc/value_codec.hpp"
 #include "bitslice/sparsity.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "model/synthetic.hpp"
 
@@ -74,47 +75,89 @@ profileWeights(const model::LlmConfig &model, quant::BitWidth bw,
     return stats;
 }
 
+namespace {
+
+/** Per-query accumulands of profileAttention (joined in index order). */
+struct QuerySample
+{
+    double sel = 0.0;
+    double predBits = 0.0;
+    double macs = 0.0;
+    double recallBgpp = 0.0;
+    double recallTopk = 0.0;
+    double topkFrac = 0.0;
+};
+
+} // namespace
+
 AttentionStats
 profileAttention(const model::LlmConfig &model, const model::Workload &task,
                  double alpha, std::uint64_t seed, std::size_t max_context,
-                 std::size_t queries)
+                 std::size_t queries, std::size_t threads)
 {
-    Rng rng(seed ^ 0xa77e4710ull);
     const std::size_t s =
         std::min<std::size_t>(max_context,
                               std::max<std::size_t>(64, task.promptLen));
     const std::size_t d = model.headDim();
 
-    AttentionStats stats;
+    // Each query derives its own RNG from (seed, qi), so the per-query
+    // work is self-contained: the fan-out below produces the same
+    // samples at every thread count, and joining them in index order
+    // keeps the floating-point reduction order fixed — parallel output
+    // is bit-identical to the serial path.
+    const std::vector<QuerySample> samples =
+        parallel::parallelMap<QuerySample>(
+            queries,
+            [&](std::size_t qi) {
+                Rng rng(seed ^ 0xa77e4710ull ^
+                        (static_cast<std::uint64_t>(qi) *
+                         0x9e3779b97f4a7c15ull));
+                model::AttentionSet set = model::synthesizeAttention(
+                    rng, s, d, task.attentionConcentration);
+
+                bgpp::BgppConfig cfg;
+                cfg.alpha = alpha;
+                cfg.logitScale = set.logitScale;
+                bgpp::BgppPredictor predictor(cfg);
+                bgpp::BgppResult res =
+                    predictor.predict(set.query, set.keys);
+
+                QuerySample q;
+                const double elems = static_cast<double>(s) * d;
+                q.sel = static_cast<double>(res.selected.size()) /
+                        static_cast<double>(s);
+                q.predBits = static_cast<double>(res.bitsFetched) / elems;
+                q.macs = static_cast<double>(res.macs) / elems;
+
+                // Match the top-k budget to what BGPP kept, so the
+                // traffic comparison (Fig 5g) is at equal selectivity.
+                const std::size_t k =
+                    std::max<std::size_t>(1, res.selected.size());
+                bgpp::TopkResult truth =
+                    bgpp::exactTopk(set.query, set.keys, k);
+                bgpp::TopkResult value =
+                    bgpp::valueTopk(set.query, set.keys, k);
+                q.recallBgpp = bgpp::recall(res.selected, truth.selected);
+                q.recallTopk =
+                    bgpp::recall(value.selected, truth.selected);
+                q.topkFrac =
+                    static_cast<double>(k) / static_cast<double>(s);
+                return q;
+            },
+            threads);
+
     double sel = 0.0, pred_bits = 0.0, macs = 0.0;
     double recall_bgpp = 0.0, recall_topk = 0.0, topk_frac = 0.0;
-
-    for (std::size_t qi = 0; qi < queries; ++qi) {
-        model::AttentionSet set = model::synthesizeAttention(
-            rng, s, d, task.attentionConcentration);
-
-        bgpp::BgppConfig cfg;
-        cfg.alpha = alpha;
-        cfg.logitScale = set.logitScale;
-        bgpp::BgppPredictor predictor(cfg);
-        bgpp::BgppResult res = predictor.predict(set.query, set.keys);
-
-        const double elems = static_cast<double>(s) * d;
-        sel += static_cast<double>(res.selected.size()) /
-               static_cast<double>(s);
-        pred_bits += static_cast<double>(res.bitsFetched) / elems;
-        macs += static_cast<double>(res.macs) / elems;
-
-        // Match the top-k budget to what BGPP kept, so the traffic
-        // comparison (Fig 5g) is at equal selectivity.
-        const std::size_t k = std::max<std::size_t>(
-            1, res.selected.size());
-        bgpp::TopkResult truth = bgpp::exactTopk(set.query, set.keys, k);
-        bgpp::TopkResult value = bgpp::valueTopk(set.query, set.keys, k);
-        recall_bgpp += bgpp::recall(res.selected, truth.selected);
-        recall_topk += bgpp::recall(value.selected, truth.selected);
-        topk_frac += static_cast<double>(k) / static_cast<double>(s);
+    for (const QuerySample &q : samples) {
+        sel += q.sel;
+        pred_bits += q.predBits;
+        macs += q.macs;
+        recall_bgpp += q.recallBgpp;
+        recall_topk += q.recallTopk;
+        topk_frac += q.topkFrac;
     }
+
+    AttentionStats stats;
     const double n = static_cast<double>(queries);
     stats.bgppSelectedFraction = sel / n;
     stats.topkFraction = topk_frac / n;

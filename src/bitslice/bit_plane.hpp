@@ -71,6 +71,22 @@ class BitPlane
     void columnPatterns(std::size_t row0, std::size_t m,
                         std::vector<std::uint32_t> &out) const;
 
+    /** Packed 64-column words per row (cols rounded up to 64). */
+    std::size_t wordsPerRow() const { return wordsPerRow_; }
+
+    /**
+     * Packed word @p word of row @p r: bit c of the result is column
+     * (word * 64 + c). Bits at or beyond cols() are always zero. This
+     * is the raw word patternsAt() reads — exposed so full-column
+     * analyses (sparsity.cpp's column dedup) can walk set bits
+     * word-parallel instead of calling get() per (row, column).
+     */
+    std::uint64_t
+    rowWord(std::size_t r, std::size_t word) const
+    {
+        return words_[r * wordsPerRow_ + word];
+    }
+
     /**
      * Column patterns of one word-aligned 64-column block: columns
      * [word*64, word*64+64) of the @p m-row group starting at @p row0,

@@ -1,7 +1,7 @@
 #include "bitslice/sparsity.hpp"
 
+#include <bit>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/bit_util.hpp"
 #include "common/logging.hpp"
@@ -97,25 +97,44 @@ compareMergeStrategies(const BitPlane &plane, std::size_t m)
     // Full-size merge: deduplicate full columns, then each distinct
     // non-zero column contributes (its popcount) row-additions, plus one
     // merge addition per duplicated occurrence.
+    //
+    // Keys build word-parallel, 64 columns per block: each row
+    // contributes one packed BitPlane word, and only its set bits are
+    // scattered into the block's transposed column keys — one word
+    // load per (row, block) instead of one get() per (row, column),
+    // with all-zero columns skipped outright via the block's OR word.
     {
         std::unordered_map<ColumnKey, std::size_t, ColumnKeyHash> uniq;
         std::uint64_t merge_adds = 0;
-        const std::size_t words = (plane.rows() + 63) / 64;
-        for (std::size_t c = 0; c < plane.cols(); ++c) {
-            ColumnKey key;
-            key.words.assign(words, 0);
-            std::uint64_t ones = 0;
+        const std::size_t tall_words = (plane.rows() + 63) / 64;
+        std::vector<ColumnKey> block(64);
+        for (std::size_t wi = 0; wi < plane.wordsPerRow(); ++wi) {
+            for (ColumnKey &key : block)
+                key.words.assign(tall_words, 0);
+            std::uint64_t any = 0; // columns of the block with a bit
             for (std::size_t r = 0; r < plane.rows(); ++r) {
-                if (plane.get(r, c)) {
-                    key.words[r >> 6] |= std::uint64_t{1} << (r & 63);
-                    ++ones;
+                std::uint64_t w = plane.rowWord(r, wi);
+                any |= w;
+                while (w != 0) {
+                    const int c = std::countr_zero(w);
+                    w &= w - 1;
+                    block[c].words[r >> 6] |= std::uint64_t{1}
+                                              << (r & 63);
                 }
             }
-            if (ones == 0)
-                continue;
-            auto [it, inserted] = uniq.try_emplace(std::move(key), ones);
-            if (!inserted)
-                ++merge_adds; // accumulate duplicate's activation
+            // Bits beyond cols() are zero by construction, so `any`
+            // only names real, non-zero columns.
+            while (any != 0) {
+                const int c = std::countr_zero(any);
+                any &= any - 1;
+                std::uint64_t ones = 0;
+                for (const std::uint64_t w : block[c].words)
+                    ones += popcount64(w);
+                auto [it, inserted] =
+                    uniq.try_emplace(std::move(block[c]), ones);
+                if (!inserted)
+                    ++merge_adds; // accumulate duplicate's activation
+            }
         }
         std::uint64_t recon_adds = 0;
         for (const auto &kv : uniq)

@@ -20,18 +20,6 @@ transpose(const Int8Matrix &x)
     return t;
 }
 
-/** Scratch buffers reused across groups to avoid allocation churn. */
-struct GroupScratch
-{
-    std::vector<std::uint32_t> patterns;  ///< Per-column group pattern.
-    std::vector<std::uint32_t> count;     ///< Occurrences per pattern.
-    std::vector<std::uint32_t> offset;    ///< Prefix offsets per pattern.
-    std::vector<std::uint32_t> order;     ///< Columns sorted by pattern.
-    std::vector<std::uint32_t> present;   ///< Patterns with count > 0.
-    std::vector<std::int64_t> z;          ///< Merged activation vector.
-    std::vector<std::int64_t> acc;        ///< Group outputs.
-};
-
 } // namespace
 
 BrcrEngine::BrcrEngine(BrcrConfig cfg) : cfg_(cfg)
@@ -43,16 +31,16 @@ BrcrEngine::BrcrEngine(BrcrConfig cfg) : cfg_(cfg)
 void
 BrcrEngine::accumulateHalf(const bitslice::SignMagnitude &half, int sign,
                            const Int8Matrix &xt, Int32Matrix &y,
-                           BrcrOpCounts &ops) const
+                           BrcrOpCounts &ops, GroupScratch &s) const
 {
     const std::size_t m = cfg_.groupSize;
     const std::size_t pattern_space = pow2(static_cast<unsigned>(m));
     const std::size_t n_out = xt.rows();
     const std::size_t k_dim = xt.cols();
 
-    GroupScratch s;
     s.count.assign(pattern_space, 0);
     s.offset.assign(pattern_space + 1, 0);
+    s.cursor.assign(pattern_space, 0);
     s.order.assign(k_dim, 0);
     s.z.assign(pattern_space, 0);
     s.acc.assign(m, 0);
@@ -76,12 +64,12 @@ BrcrEngine::accumulateHalf(const bitslice::SignMagnitude &half, int sign,
                 if (s.count[pat] > 0)
                     s.present.push_back(static_cast<std::uint32_t>(pat));
             }
-            std::vector<std::uint32_t> cursor(s.offset.begin(),
-                                              s.offset.end() - 1);
+            std::copy(s.offset.begin(), s.offset.end() - 1,
+                      s.cursor.begin());
             for (std::size_t c = 0; c < k_dim; ++c) {
                 const std::uint32_t pat = s.patterns[c];
                 if (pat != 0)
-                    s.order[cursor[pat]++] =
+                    s.order[s.cursor[pat]++] =
                         static_cast<std::uint32_t>(c);
             }
             ++ops.groupsProcessed;
@@ -150,8 +138,9 @@ BrcrEngine::gemm(const Int8Matrix &w, const Int8Matrix &x) const
     Int8Matrix xt = transpose(x);
     BrcrGemmResult out;
     out.y = Int32Matrix(w.rows(), x.cols());
-    accumulateHalf(split.positive, +1, xt, out.y, out.ops);
-    accumulateHalf(split.negative, -1, xt, out.y, out.ops);
+    GroupScratch scratch; // one allocation serves both halves.
+    accumulateHalf(split.positive, +1, xt, out.y, out.ops, scratch);
+    accumulateHalf(split.negative, -1, xt, out.y, out.ops, scratch);
     return out;
 }
 
@@ -165,8 +154,9 @@ BrcrEngine::gemv(const Int8Matrix &w, const std::vector<std::int8_t> &x) const
         bitslice::decomposeSignSplit(w, cfg_.bitWidth);
     Int32Matrix y(w.rows(), 1);
     BrcrGemvResult out;
-    accumulateHalf(split.positive, +1, xt, y, out.ops);
-    accumulateHalf(split.negative, -1, xt, y, out.ops);
+    GroupScratch scratch; // one allocation serves both halves.
+    accumulateHalf(split.positive, +1, xt, y, out.ops, scratch);
+    accumulateHalf(split.negative, -1, xt, y, out.ops, scratch);
     out.y.resize(w.rows());
     for (std::size_t r = 0; r < w.rows(); ++r)
         out.y[r] = y.at(r, 0);
@@ -188,7 +178,7 @@ BrcrEngine::gemvTernary(const Int8Matrix &w,
 
     std::vector<std::uint32_t> pattern(w.cols());
     std::vector<std::int64_t> z(pattern_space, 0);
-    std::vector<bool> occupied_z(pattern_space, false);
+    std::vector<std::uint8_t> occupied_z(pattern_space, 0);
     std::vector<std::uint32_t> present;
     std::vector<std::int64_t> acc(m, 0);
 
@@ -229,7 +219,7 @@ BrcrEngine::gemvTernary(const Int8Matrix &w,
                     ++out.ops.mergeAdds;
                 } else {
                     z[pat] = x[c];
-                    occupied_z[pat] = true;
+                    occupied_z[pat] = 1;
                     present.push_back(pat);
                 }
             }
@@ -263,7 +253,7 @@ BrcrEngine::gemvTernary(const Int8Matrix &w,
             }
             // Reset only the touched MAV entries.
             for (std::uint32_t pat : present)
-                occupied_z[pat] = false;
+                occupied_z[pat] = 0;
         }
     }
     return out;

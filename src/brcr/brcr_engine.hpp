@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bitslice/sign_magnitude.hpp"
+#include "brcr/group_scratch.hpp"
 #include "common/matrix.hpp"
 #include "quant/quantizer.hpp"
 
@@ -109,10 +110,12 @@ class BrcrEngine
                                const std::vector<std::int8_t> &x) const;
 
   private:
-    /** Process all planes of one sign-split half, adding into y. */
+    /** Process all planes of one sign-split half, adding into y.
+     *  @p scratch is reused across row groups, planes and both halves
+     *  of one gemv/gemm call (no per-group allocations). */
     void accumulateHalf(const bitslice::SignMagnitude &half, int sign,
                         const Int8Matrix &x, Int32Matrix &y,
-                        BrcrOpCounts &ops) const;
+                        BrcrOpCounts &ops, GroupScratch &scratch) const;
 
     BrcrConfig cfg_;
 };

@@ -1,36 +1,54 @@
 #include "brcr/enumeration.hpp"
 
-#include <unordered_map>
-
 #include "common/bit_util.hpp"
 #include "common/logging.hpp"
 
 namespace mcbp::brcr {
 
+void
+factorizeGroup(const bitslice::BitPlane &plane, std::size_t row0,
+               std::size_t m, GroupScratch &scratch,
+               GroupFactorization &out)
+{
+    fatalIf(m == 0 || m > 16, "group size must be in [1, 16]");
+    fatalIf(row0 >= plane.rows(), "group start row out of range");
+    out.m = m;
+    out.patterns.clear();
+    out.columnIndex.assign(plane.cols(), -1);
+
+    plane.columnPatterns(row0, m, scratch.patterns);
+
+    // Direct-index pattern table: scratch.indexOf is all -1 between
+    // calls (the invariant is restored below by resetting only the
+    // entries this group touched, so consecutive groups never pay a
+    // 2^m clear — the same trick compareMergeStrategies uses for its
+    // count table).
+    const std::size_t pattern_space = pow2(static_cast<unsigned>(m));
+    if (scratch.indexOf.size() < pattern_space)
+        scratch.indexOf.assign(pattern_space, -1);
+    for (std::size_t c = 0; c < scratch.patterns.size(); ++c) {
+        const std::uint32_t p = scratch.patterns[c];
+        if (p == 0)
+            continue;
+        std::int32_t d = scratch.indexOf[p];
+        if (d < 0) {
+            d = static_cast<std::int32_t>(out.patterns.size());
+            scratch.indexOf[p] = d;
+            out.patterns.push_back(p);
+        }
+        out.columnIndex[c] = d;
+    }
+    for (const std::uint32_t p : out.patterns)
+        scratch.indexOf[p] = -1;
+}
+
 GroupFactorization
 factorizeGroup(const bitslice::BitPlane &plane, std::size_t row0,
                std::size_t m)
 {
-    fatalIf(m == 0 || m > 16, "group size must be in [1, 16]");
-    fatalIf(row0 >= plane.rows(), "group start row out of range");
+    GroupScratch scratch;
     GroupFactorization fact;
-    fact.m = m;
-    fact.columnIndex.assign(plane.cols(), -1);
-
-    std::vector<std::uint32_t> raw;
-    plane.columnPatterns(row0, m, raw);
-
-    std::unordered_map<std::uint32_t, std::int32_t> index_of;
-    for (std::size_t c = 0; c < raw.size(); ++c) {
-        const std::uint32_t p = raw[c];
-        if (p == 0)
-            continue;
-        auto [it, inserted] = index_of.try_emplace(
-            p, static_cast<std::int32_t>(fact.patterns.size()));
-        if (inserted)
-            fact.patterns.push_back(p);
-        fact.columnIndex[c] = it->second;
-    }
+    factorizeGroup(plane, row0, m, scratch, fact);
     return fact;
 }
 
@@ -42,7 +60,9 @@ mergeActivations(const GroupFactorization &fact,
             "activation length mismatch");
     MavResult out;
     out.z.assign(fact.patterns.size(), 0);
-    std::vector<bool> occupied(fact.patterns.size(), false);
+    // uint8_t occupancy: vector<bool>'s bit proxies cost a shift+mask
+    // read-modify-write in this innermost loop.
+    std::vector<std::uint8_t> occupied(fact.patterns.size(), 0);
     for (std::size_t c = 0; c < x.size(); ++c) {
         const std::int32_t d = fact.columnIndex[c];
         if (d < 0)
@@ -52,7 +72,7 @@ mergeActivations(const GroupFactorization &fact,
             ++out.additions;
         } else {
             out.z[d] = x[c];
-            occupied[d] = true;
+            occupied[d] = 1;
         }
     }
     return out;
@@ -64,7 +84,7 @@ reconstructOutputs(const GroupFactorization &fact, const MavResult &mav)
     panicIf(mav.z.size() != fact.patterns.size(), "MAV/pattern mismatch");
     ReconResult out;
     out.y.assign(fact.m, 0);
-    std::vector<bool> occupied(fact.m, false);
+    std::vector<std::uint8_t> occupied(fact.m, 0);
     for (std::size_t d = 0; d < fact.patterns.size(); ++d) {
         const std::uint32_t p = fact.patterns[d];
         for (std::size_t i = 0; i < fact.m; ++i) {
@@ -75,7 +95,7 @@ reconstructOutputs(const GroupFactorization &fact, const MavResult &mav)
                 ++out.additions;
             } else {
                 out.y[i] = mav.z[d];
-                occupied[i] = true;
+                occupied[i] = 1;
             }
         }
     }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bitslice/bit_plane.hpp"
+#include "brcr/group_scratch.hpp"
 
 namespace mcbp::brcr {
 
@@ -39,6 +40,19 @@ struct GroupFactorization
 /** Factorize rows [row0, row0+m) of @p plane. */
 GroupFactorization factorizeGroup(const bitslice::BitPlane &plane,
                                   std::size_t row0, std::size_t m);
+
+/**
+ * Allocation-free fast path: factorize into caller-owned @p out using
+ * a reusable @p scratch (the same GroupScratch the BRCR engine
+ * threads through its hot loop). Pattern deduplication indexes a
+ * direct 2^m table in the scratch instead of hashing into a fresh
+ * unordered_map per group, and @p out's vectors reuse their capacity
+ * across groups. Produces exactly the result of the convenience
+ * overload above.
+ */
+void factorizeGroup(const bitslice::BitPlane &plane, std::size_t row0,
+                    std::size_t m, GroupScratch &scratch,
+                    GroupFactorization &out);
 
 /**
  * Merged activation vector Z = I x X for a factorized group: entry d

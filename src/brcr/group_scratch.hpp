@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reusable scratch for the grouped-pattern BRCR kernels, shared by the
+ * production engine (brcr_engine.hpp) and the explicit factorization
+ * primitives (enumeration.hpp) without either including the other.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcbp::brcr {
+
+/**
+ * One instance is allocated per gemv/gemm call (or once by a
+ * long-lived caller such as a factorizeGroup loop) and reused across
+ * every (group, plane) pair — the hot loops allocate nothing. Buffers
+ * are sized on first use and only grow. Not thread-safe: each thread
+ * owns its own scratch.
+ */
+struct GroupScratch
+{
+    std::vector<std::uint32_t> patterns; ///< Per-column group pattern.
+    std::vector<std::uint32_t> count;    ///< Occurrences per pattern.
+    std::vector<std::uint32_t> offset;   ///< Prefix offsets per pattern.
+    std::vector<std::uint32_t> cursor;   ///< Scatter cursors per pattern.
+    std::vector<std::uint32_t> order;    ///< Columns sorted by pattern.
+    std::vector<std::uint32_t> present;  ///< Patterns with count > 0.
+    std::vector<std::int64_t> z;         ///< Merged activation vector.
+    std::vector<std::int64_t> acc;       ///< Group outputs.
+    /**
+     * Direct-index pattern -> distinct-index table for factorizeGroup
+     * (2^m entries, all -1 between calls — callers restore the
+     * invariant by resetting only the entries they touched).
+     */
+    std::vector<std::int32_t> indexOf;
+};
+
+} // namespace mcbp::brcr

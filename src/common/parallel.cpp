@@ -1,0 +1,240 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace mcbp::parallel {
+
+namespace {
+
+/**
+ * One parallelFor invocation. Indices are claimed with an atomic
+ * cursor; the submitter and up to helperCap pool workers execute them.
+ * finished counts completed iterations so the submitter can block
+ * until the last in-flight body returns (claim exhaustion alone is not
+ * enough: another thread may still be inside body).
+ */
+struct Batch
+{
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *body = nullptr;
+    std::size_t helperCap = 0; ///< Pool workers allowed in (guarded).
+    std::size_t helpers = 0;   ///< Pool workers admitted (guarded).
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> finished{0};
+
+    std::mutex mutex;
+    std::condition_variable done;
+    /** Lowest-index exception wins, independent of thread timing. */
+    std::size_t errorIndex = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+
+    bool
+    exhausted() const
+    {
+        return next.load(std::memory_order_relaxed) >= n;
+    }
+
+    /** Claim-and-run loop shared by submitter and workers. */
+    void
+    help()
+    {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                (*body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (i < errorIndex) {
+                    errorIndex = i;
+                    error = std::current_exception();
+                }
+            }
+            if (finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                n) {
+                // Lock pairs with the submitter's predicate check so
+                // the final notify cannot slip into its wait window.
+                std::lock_guard<std::mutex> lock(mutex);
+                done.notify_all();
+            }
+        }
+    }
+};
+
+/**
+ * Fixed-size worker pool. Workers sleep until a batch with free claims
+ * and a free helper slot exists; submitters never sleep while their
+ * own batch has unclaimed work.
+ */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(std::size_t threads)
+    {
+        workers_.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+
+    std::size_t threadCount() const { return workers_.size(); }
+
+    void
+    run(std::size_t n, const std::function<void(std::size_t)> &body,
+        std::size_t helperCap)
+    {
+        auto batch = std::make_shared<Batch>();
+        batch->n = n;
+        batch->body = &body;
+        batch->helperCap = helperCap;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            batches_.push_back(batch);
+        }
+        wake_.notify_all();
+
+        batch->help(); // The submitter always works its own batch.
+        {
+            std::unique_lock<std::mutex> lock(batch->mutex);
+            batch->done.wait(lock, [&] {
+                return batch->finished.load(
+                           std::memory_order_acquire) == batch->n;
+            });
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            std::erase(batches_, batch);
+        }
+        if (batch->error)
+            std::rethrow_exception(batch->error);
+    }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::shared_ptr<Batch> batch;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [&] {
+                    return stop_ || (batch = claimable()) != nullptr;
+                });
+                if (stop_)
+                    return;
+                ++batch->helpers; // Admitted under the pool lock.
+            }
+            batch->help();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                --batch->helpers;
+            }
+            // Loop around: another batch may have work (no wait if the
+            // predicate is already true).
+        }
+    }
+
+    /** A batch with unclaimed work and a free helper slot (guarded). */
+    std::shared_ptr<Batch>
+    claimable() const
+    {
+        for (const auto &b : batches_)
+            if (!b->exhausted() && b->helpers < b->helperCap)
+                return b;
+        return nullptr;
+    }
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::vector<std::shared_ptr<Batch>> batches_;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+ThreadPool &
+globalPool()
+{
+    static ThreadPool pool(hardwareThreads());
+    return pool;
+}
+
+} // namespace
+
+std::size_t
+hardwareThreads()
+{
+    static const std::size_t count = [] {
+        if (const char *env = std::getenv("MCBP_THREADS")) {
+            char *end = nullptr;
+            const unsigned long v = std::strtoul(env, &end, 10);
+            if (end != env && *end == '\0' && v >= 1)
+                return static_cast<std::size_t>(v);
+        }
+        const unsigned hw = std::thread::hardware_concurrency();
+        return static_cast<std::size_t>(hw >= 1 ? hw : 1);
+    }();
+    return count;
+}
+
+namespace {
+
+/** Inline serial execution with the same contract as the pool path:
+ *  every iteration runs, the lowest-index exception is rethrown. */
+void
+serialFor(std::size_t n, const std::function<void(std::size_t)> &body)
+{
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+        try {
+            body(i);
+        } catch (...) {
+            if (!error)
+                error = std::current_exception();
+        }
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &body,
+            std::size_t threads)
+{
+    if (n == 0)
+        return;
+    if (n == 1 || threads == 1) {
+        serialFor(n, body);
+        return;
+    }
+    ThreadPool &pool = globalPool();
+    const std::size_t cap =
+        threads == 0 ? pool.threadCount() : threads - 1;
+    if (cap == 0) {
+        serialFor(n, body);
+        return;
+    }
+    pool.run(n, body, cap);
+}
+
+} // namespace mcbp::parallel

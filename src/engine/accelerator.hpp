@@ -13,8 +13,11 @@
  */
 #pragma once
 
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "accel/profile_cache.hpp"
 #include "accel/report.hpp"
 #include "model/llm_config.hpp"
 #include "model/workload.hpp"
@@ -58,6 +61,32 @@ class Accelerator
     /** Simulate one (model, task) inference run. */
     virtual accel::RunMetrics run(const model::LlmConfig &model,
                                   const model::Workload &task) const = 0;
+
+    /**
+     * Append the measured profiles a run(model, task) would demand to
+     * @p out, so callers (Registry::warmFleet, ServingSimulator) can
+     * precompute them in parallel via ProfileCache::warm() before the
+     * serial simulation path needs them. Designs that profile nothing
+     * (the dense systolic reference) append nothing.
+     */
+    virtual void
+    profileRequests(const model::LlmConfig &model,
+                    const model::Workload &task,
+                    std::vector<accel::ProfileRequest> &out) const
+    {
+        (void)model;
+        (void)task;
+    }
+
+    /**
+     * The profile cache run() draws from, or nullptr for designs that
+     * do not profile. Every accelerator built by one Registry returns
+     * the same cache.
+     */
+    virtual std::shared_ptr<accel::ProfileCache> profileCache() const
+    {
+        return nullptr;
+    }
 };
 
 } // namespace mcbp::engine

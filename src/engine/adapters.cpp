@@ -54,13 +54,33 @@ McbpAdapter::run(const model::LlmConfig &model,
     return impl_.run(model, task);
 }
 
+void
+McbpAdapter::profileRequests(const model::LlmConfig &model,
+                             const model::Workload &task,
+                             std::vector<accel::ProfileRequest> &out) const
+{
+    // run() always consults both profiles (even the ablation baseline
+    // derives its value-level traits from them).
+    const accel::McbpOptions &o = impl_.options();
+    accel::ProfileRequest r;
+    r.model = model;
+    r.bitWidth = o.bitWidth;
+    r.seed = o.seed;
+    r.wantWeights = true;
+    r.wantAttention = true;
+    r.task = task;
+    r.alpha = o.alpha;
+    out.push_back(std::move(r));
+}
+
 // ---- BaselineAdapter -------------------------------------------------------
 
 BaselineAdapter::BaselineAdapter(
     std::string name, TraitsMaker maker, Capabilities caps,
-    std::shared_ptr<accel::ProfileCache> profiles, sim::McbpConfig hw)
+    std::shared_ptr<accel::ProfileCache> profiles, sim::McbpConfig hw,
+    ProfileNeeds needs)
     : name_(std::move(name)), maker_(std::move(maker)), caps_(caps),
-      profiles_(std::move(profiles)), hw_(hw)
+      profiles_(std::move(profiles)), hw_(hw), needs_(needs)
 {
     fatalIf(!maker_, "baseline adapter needs a traits maker");
     fatalIf(!profiles_, "baseline adapter needs a profile cache");
@@ -92,6 +112,24 @@ BaselineAdapter::run(const model::LlmConfig &model,
 {
     return accel::BaselineAccelerator(traitsFor(model, task), hw_)
         .run(model, task);
+}
+
+void
+BaselineAdapter::profileRequests(
+    const model::LlmConfig &model, const model::Workload &task,
+    std::vector<accel::ProfileRequest> &out) const
+{
+    if (!needs_.weights && !needs_.attention)
+        return;
+    accel::ProfileRequest r;
+    r.model = model;
+    r.bitWidth = needs_.bitWidth;
+    r.seed = needs_.seed;
+    r.wantWeights = needs_.weights;
+    r.wantAttention = needs_.attention;
+    r.task = task;
+    r.alpha = needs_.alpha;
+    out.push_back(std::move(r));
 }
 
 // ---- GpuAdapter ------------------------------------------------------------
@@ -145,6 +183,22 @@ GpuAdapter::run(const model::LlmConfig &model,
     const accel::AttentionStats &as =
         profiles_->attention(model, task, alpha_, seed_);
     return impl_.run(model, task, ws, as);
+}
+
+void
+GpuAdapter::profileRequests(const model::LlmConfig &model,
+                            const model::Workload &task,
+                            std::vector<accel::ProfileRequest> &out) const
+{
+    accel::ProfileRequest r;
+    r.model = model;
+    r.bitWidth = quant::BitWidth::Int8;
+    r.seed = seed_;
+    r.wantWeights = true;
+    r.wantAttention = true;
+    r.task = task;
+    r.alpha = alpha_;
+    out.push_back(std::move(r));
 }
 
 } // namespace mcbp::engine

@@ -34,12 +34,34 @@ class McbpAdapter : public Accelerator
     std::string configSummary() const override;
     accel::RunMetrics run(const model::LlmConfig &model,
                           const model::Workload &task) const override;
+    void profileRequests(
+        const model::LlmConfig &model, const model::Workload &task,
+        std::vector<accel::ProfileRequest> &out) const override;
+    std::shared_ptr<accel::ProfileCache> profileCache() const override
+    {
+        return impl_.profileCache();
+    }
 
     /** The wrapped model (for parity tests and profile inspection). */
     const accel::McbpAccelerator &underlying() const { return impl_; }
 
   private:
     accel::McbpAccelerator impl_;
+};
+
+/**
+ * Which profiles a BaselineAdapter's traits maker demands per
+ * (model, task) — declared alongside the (opaque) maker so
+ * profileRequests() can announce them for parallel cache warm-up
+ * without invoking the maker.
+ */
+struct BaselineProfileNeeds
+{
+    bool weights = false;
+    bool attention = false;
+    double alpha = 0.6;
+    std::uint64_t seed = 1;
+    quant::BitWidth bitWidth = quant::BitWidth::Int8;
 };
 
 /**
@@ -54,15 +76,25 @@ class BaselineAdapter : public Accelerator
         accel::ProfileCache &, const model::LlmConfig &,
         const model::Workload &)>;
 
+    using ProfileNeeds = BaselineProfileNeeds;
+
     BaselineAdapter(std::string name, TraitsMaker maker, Capabilities caps,
                     std::shared_ptr<accel::ProfileCache> profiles,
-                    sim::McbpConfig hw = sim::defaultConfig());
+                    sim::McbpConfig hw = sim::defaultConfig(),
+                    ProfileNeeds needs = {});
 
     std::string name() const override { return name_; }
     Capabilities capabilities() const override { return caps_; }
     std::string configSummary() const override;
     accel::RunMetrics run(const model::LlmConfig &model,
                           const model::Workload &task) const override;
+    void profileRequests(
+        const model::LlmConfig &model, const model::Workload &task,
+        std::vector<accel::ProfileRequest> &out) const override;
+    std::shared_ptr<accel::ProfileCache> profileCache() const override
+    {
+        return profiles_;
+    }
 
     /** The traits this adapter resolves for one (model, task). */
     accel::BaselineTraits traitsFor(const model::LlmConfig &model,
@@ -74,6 +106,7 @@ class BaselineAdapter : public Accelerator
     Capabilities caps_;
     std::shared_ptr<accel::ProfileCache> profiles_;
     sim::McbpConfig hw_;
+    ProfileNeeds needs_;
 };
 
 /** engine::Accelerator view of the A100 roofline model. */
@@ -89,6 +122,13 @@ class GpuAdapter : public Accelerator
     std::string configSummary() const override;
     accel::RunMetrics run(const model::LlmConfig &model,
                           const model::Workload &task) const override;
+    void profileRequests(
+        const model::LlmConfig &model, const model::Workload &task,
+        std::vector<accel::ProfileRequest> &out) const override;
+    std::shared_ptr<accel::ProfileCache> profileCache() const override
+    {
+        return profiles_;
+    }
 
     const accel::GpuA100Model &underlying() const { return impl_; }
 

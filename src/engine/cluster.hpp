@@ -49,6 +49,18 @@ class ClusterAccelerator : public Accelerator
     std::string configSummary() const override;
     accel::RunMetrics run(const model::LlmConfig &model,
                           const model::Workload &task) const override;
+    /** Sharding changes no profile keys: forward the chip's needs. */
+    void
+    profileRequests(const model::LlmConfig &model,
+                    const model::Workload &task,
+                    std::vector<accel::ProfileRequest> &out) const override
+    {
+        chip_->profileRequests(model, task, out);
+    }
+    std::shared_ptr<accel::ProfileCache> profileCache() const override
+    {
+        return chip_->profileCache();
+    }
 
     const Accelerator &underlying() const { return *chip_; }
     const ClusterOptions &options() const { return opts_; }

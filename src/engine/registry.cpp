@@ -310,7 +310,11 @@ Registry::make(const std::string &spec) const
         rejectUnknown(p);
 
         BaselineAdapter::TraitsMaker maker;
+        BaselineAdapter::ProfileNeeds needs;
+        needs.alpha = alpha;
+        needs.seed = seed;
         if (def->fromAttention != nullptr) {
+            needs.attention = true;
             maker = [alpha, seed, make = def->fromAttention](
                         accel::ProfileCache &cache,
                         const model::LlmConfig &m,
@@ -318,6 +322,7 @@ Registry::make(const std::string &spec) const
                 return make(cache.attention(m, t, alpha, seed));
             };
         } else if (def->fromWeights != nullptr) {
+            needs.weights = true;
             maker = [seed, make = def->fromWeights](
                         accel::ProfileCache &cache,
                         const model::LlmConfig &m,
@@ -331,7 +336,7 @@ Registry::make(const std::string &spec) const
             };
         }
         return finish(std::make_unique<BaselineAdapter>(
-            def->display, maker, def->caps, profiles_, hw_));
+            def->display, maker, def->caps, profiles_, hw_, needs));
     }
 
     fatal("unknown accelerator spec '" + spec + "'");
@@ -345,6 +350,37 @@ Registry::fleet(const std::vector<std::string> &specs) const
     for (const std::string &spec : specs)
         out.push_back(make(spec));
     return out;
+}
+
+void
+Registry::warmFleet(
+    const std::vector<std::unique_ptr<Accelerator>> &fleet,
+    const std::vector<model::LlmConfig> &models,
+    const std::vector<model::Workload> &tasks, std::size_t threads) const
+{
+    std::vector<accel::ProfileRequest> requests;
+    for (const auto &accel : fleet)
+        for (const model::LlmConfig &m : models)
+            for (const model::Workload &t : tasks)
+                accel->profileRequests(m, t, requests);
+    // warm() deduplicates by final cache key, so overlapping needs
+    // across the fleet (shared seeds/alphas) fan out exactly once.
+    profiles_->warm(requests, threads);
+}
+
+void
+Registry::warmFleet(
+    const std::vector<std::unique_ptr<Accelerator>> &fleet,
+    const std::vector<std::string> &models,
+    const std::vector<std::string> &tasks, std::size_t threads) const
+{
+    std::vector<model::LlmConfig> ms;
+    for (const std::string &name : models)
+        ms.push_back(model::findModel(name));
+    std::vector<model::Workload> ts;
+    for (const std::string &name : tasks)
+        ts.push_back(model::findTask(name));
+    warmFleet(fleet, ms, ts, threads);
 }
 
 std::vector<std::string>

@@ -54,6 +54,25 @@ class Registry
     std::vector<std::unique_ptr<Accelerator>>
     fleet(const std::vector<std::string> &specs) const;
 
+    /**
+     * Precompute every profile the fleet would demand for the given
+     * (model, task) cross product, fanning the distinct cache keys out
+     * over the thread pool (@p threads as in parallel::parallelFor:
+     * 0 = full pool, 1 = serial). Cold-start construction then
+     * profiles on all cores, and the stats are bit-identical to
+     * demand-filling serially (see ProfileCache::warm).
+     */
+    void warmFleet(const std::vector<std::unique_ptr<Accelerator>> &fleet,
+                   const std::vector<model::LlmConfig> &models,
+                   const std::vector<model::Workload> &tasks,
+                   std::size_t threads = 0) const;
+
+    /** Name-based convenience overload (zoo model/task names). */
+    void warmFleet(const std::vector<std::unique_ptr<Accelerator>> &fleet,
+                   const std::vector<std::string> &models,
+                   const std::vector<std::string> &tasks,
+                   std::size_t threads = 0) const;
+
     /** Canonical spec names this registry understands. */
     static std::vector<std::string> knownSpecs();
 

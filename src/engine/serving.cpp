@@ -46,6 +46,21 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
     ServingReport report;
     report.accelerator = accel_->name();
 
+    // ---- Warm the profile cache on all cores ----------------------------
+    // The costing loop below is serial; without this, a cold cache would
+    // profile its first-touch keys one by one. Announcing every request's
+    // needs up front lets the cache fan the distinct keys out over the
+    // thread pool (duplicates collapse inside warm, and racing engines
+    // singleflight), leaving only cheap cache hits in the serial loop.
+    if (const std::shared_ptr<accel::ProfileCache> cache =
+            accel_->profileCache()) {
+        std::vector<accel::ProfileRequest> requests;
+        for (const model::Request &req : trace)
+            accel_->profileRequests(model::findModel(req.model),
+                                    req.workload(), requests);
+        cache->warm(requests, opts_.profileThreads);
+    }
+
     // ---- Cost each request with a batch-1 run ---------------------------
     double clock_ghz = 0.0;
     std::vector<CostedRequest> costs;

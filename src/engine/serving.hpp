@@ -69,6 +69,13 @@ struct ServingOptions
      * Capabilities::hbmCapacityBytes minus the resident weights.
      */
     double kvCapacityBytes = 0.0;
+    /**
+     * Thread cap for the profile-cache warm-up that precedes request
+     * costing (parallel::parallelFor semantics: 0 = full global pool,
+     * 1 = serial). Either way the profiled stats — and therefore the
+     * whole report — are bit-identical; this only changes wall-clock.
+     */
+    std::size_t profileThreads = 0;
 };
 
 /** Per-request outcome. */

@@ -155,6 +155,36 @@ TEST(BrcrEngine, OpCountsBeatNaiveBitSerial)
     EXPECT_GT(res.ops.groupsProcessed, 0u);
 }
 
+TEST(BrcrEngine, OpCountsMatchGolden)
+{
+    // Pinned op counts from the original (pre-scratch-reuse, per-group
+    // allocating) implementation on a fixed synthetic tile: the scratch
+    // rework must change allocation behavior only, never a count. The
+    // synthesizer and Rng are portable, so these values are stable
+    // across platforms.
+    Rng rng(18);
+    model::WeightProfile profile;
+    quant::QuantizedWeight qw = model::synthesizeQuantizedWeight(
+        rng, 64, 1024, quant::BitWidth::Int8, profile);
+    std::vector<std::int8_t> x = randomVec(19, 1024);
+    BrcrEngine engine;
+    const BrcrGemvResult res = engine.gemv(qw.values, x);
+    EXPECT_EQ(res.ops.mergeAdds, 94848u);
+    EXPECT_EQ(res.ops.reconAdds, 3916u);
+    EXPECT_EQ(res.ops.shiftAccAdds, 839u);
+    EXPECT_EQ(res.ops.camSearches, 3360u);
+    EXPECT_EQ(res.ops.groupsProcessed, 224u);
+    EXPECT_EQ(res.ops.zeroColumns, 132114u);
+
+    // A second run on the same engine must reproduce them exactly
+    // (no state leaks through the reused scratch path).
+    const BrcrGemvResult again = engine.gemv(qw.values, x);
+    EXPECT_EQ(again.ops.mergeAdds, res.ops.mergeAdds);
+    EXPECT_EQ(again.ops.reconAdds, res.ops.reconAdds);
+    EXPECT_EQ(again.ops.shiftAccAdds, res.ops.shiftAccAdds);
+    EXPECT_EQ(again.y, res.y);
+}
+
 TEST(BrcrEngine, GemmAmortizesPatternExtraction)
 {
     // CAM searches depend only on the weights: GEMM with N columns must

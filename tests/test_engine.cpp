@@ -145,6 +145,54 @@ TEST(Registry, FleetSharesOneProfileCache)
     EXPECT_EQ(registry.profileCache()->size(), 2u);
 }
 
+TEST(Registry, ColdKeySingleflight)
+{
+    // 8 threads racing on one cold key must trigger exactly one
+    // profiling computation (the singleflight contract): racers block
+    // on the in-flight slot instead of redoing the work, and all see
+    // the same cached object.
+    accel::ProfileCache cache;
+    const model::LlmConfig &m = opt1b3();
+    constexpr std::size_t kThreads = 8;
+    std::vector<std::thread> threads;
+    std::vector<const accel::WeightStats *> seen(kThreads, nullptr);
+    for (std::size_t i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            seen[i] = &cache.weights(m, quant::BitWidth::Int8, 1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(cache.profileCalls(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    for (std::size_t i = 1; i < kThreads; ++i)
+        EXPECT_EQ(seen[i], seen[0]); // one entry, stable reference.
+}
+
+TEST(Registry, WarmFleetProfilesEachKeyOnce)
+{
+    // Warming a fleet across (models x tasks), then running every
+    // combination, must never profile a key twice: the parallel warm
+    // fan-out and the demand path share the singleflight slots. The
+    // fleet spans weight-profile, attention-profile and both-profile
+    // designs.
+    Registry registry;
+    auto fleet = registry.fleet({"mcbp", "spatten", "fusekna", "a100"});
+    const std::vector<std::string> models = {"OPT1B3", "Bloom1B7"};
+    const std::vector<std::string> tasks = {"Cola", "MMLU"};
+    registry.warmFleet(fleet, models, tasks);
+    const std::uint64_t calls_after_warm =
+        registry.profileCache()->profileCalls();
+    EXPECT_EQ(calls_after_warm, registry.profileCache()->size());
+    for (const auto &accel : fleet)
+        for (const std::string &mn : models)
+            for (const std::string &tn : tasks)
+                (void)accel->run(model::findModel(mn),
+                                 model::findTask(tn));
+    // Every run() hit warm cache: no new profiling happened.
+    EXPECT_EQ(registry.profileCache()->profileCalls(), calls_after_warm);
+}
+
 TEST(Registry, ProfileCacheIsThreadSafe)
 {
     // Concurrent serving simulation hits the shared profile cache from

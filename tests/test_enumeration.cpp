@@ -1,8 +1,10 @@
 /** @file Unit tests for brcr/enumeration: the E x I x X factorization. */
 #include <gtest/gtest.h>
 
+#include "bitslice/sign_magnitude.hpp"
 #include "brcr/enumeration.hpp"
 #include "common/rng.hpp"
+#include "model/synthetic.hpp"
 
 namespace mcbp::brcr {
 namespace {
@@ -113,6 +115,71 @@ TEST(Enumeration, AdditionsNeverExceedNaive)
         ReconResult rec = reconstructOutputs(fact, mav);
         EXPECT_LE(mav.additions + rec.additions, naive);
     }
+}
+
+TEST(Enumeration, ScratchOverloadMatchesConvenience)
+{
+    // The allocation-free fast path (direct-index table + reused
+    // output) must produce exactly the result of the convenience
+    // overload, including pattern order, across consecutive groups
+    // sharing one scratch.
+    Rng rng(9);
+    bitslice::BitPlane p(24, 160);
+    for (std::size_t r = 0; r < 24; ++r)
+        for (std::size_t c = 0; c < 160; ++c)
+            p.set(r, c, rng.bernoulli(0.35));
+
+    GroupScratch scratch;
+    GroupFactorization fast;
+    for (const std::size_t m : {1u, 3u, 4u, 6u}) {
+        for (std::size_t row0 = 0; row0 < p.rows(); row0 += m) {
+            factorizeGroup(p, row0, m, scratch, fast);
+            const GroupFactorization ref = factorizeGroup(p, row0, m);
+            EXPECT_EQ(fast.m, ref.m);
+            EXPECT_EQ(fast.patterns, ref.patterns)
+                << "m " << m << " row0 " << row0;
+            EXPECT_EQ(fast.columnIndex, ref.columnIndex)
+                << "m " << m << " row0 " << row0;
+        }
+    }
+}
+
+TEST(Enumeration, GoldenCountsOnSyntheticPlane)
+{
+    // Pinned from the original unordered_map implementation on plane 5
+    // of a fixed synthetic INT8 tile: the direct-index rewrite must
+    // reproduce every count and output exactly.
+    Rng rng(18);
+    model::WeightProfile profile;
+    quant::QuantizedWeight qw = model::synthesizeQuantizedWeight(
+        rng, 64, 1024, quant::BitWidth::Int8, profile);
+    Rng xrng(19);
+    std::vector<std::int8_t> x(1024);
+    for (auto &v : x)
+        v = static_cast<std::int8_t>(
+            static_cast<std::int64_t>(xrng.uniformInt(255)) - 127);
+    bitslice::SignMagnitude sm =
+        bitslice::decompose(qw.values, quant::BitWidth::Int8);
+    const bitslice::BitPlane &plane = sm.magnitude[5];
+
+    std::uint64_t distinct = 0, mav_adds = 0, recon_adds = 0;
+    std::int64_t ysum = 0;
+    GroupScratch scratch;
+    GroupFactorization fact;
+    for (std::size_t row0 = 0; row0 < plane.rows(); row0 += 4) {
+        factorizeGroup(plane, row0, 4, scratch, fact);
+        distinct += fact.distinctCount();
+        const MavResult mav = mergeActivations(fact, x);
+        mav_adds += mav.additions;
+        const ReconResult rec = reconstructOutputs(fact, mav);
+        recon_adds += rec.additions;
+        for (const std::int64_t y : rec.y)
+            ysum += y;
+    }
+    EXPECT_EQ(distinct, 82u);
+    EXPECT_EQ(mav_adds, 4793u);
+    EXPECT_EQ(recon_adds, 46u);
+    EXPECT_EQ(ysum, 13563);
 }
 
 TEST(Enumeration, BadArgumentsFatal)

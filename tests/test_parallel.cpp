@@ -1,0 +1,175 @@
+/** @file Unit tests for common/parallel: the deterministic thread pool. */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace mcbp::parallel {
+namespace {
+
+/** Cheap per-index mixer (SplitMix64 finalizer). */
+std::uint64_t
+mix(std::uint64_t i)
+{
+    std::uint64_t z = i + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+TEST(Parallel, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(hardwareThreads(), 1u);
+}
+
+TEST(Parallel, MapJoinsInIndexOrder)
+{
+    const std::size_t n = 1000;
+    const std::vector<std::uint64_t> pooled =
+        parallelMap<std::uint64_t>(n, [](std::size_t i) { return mix(i); });
+    const std::vector<std::uint64_t> serial = parallelMap<std::uint64_t>(
+        n, [](std::size_t i) { return mix(i); }, 1);
+    ASSERT_EQ(pooled.size(), n);
+    EXPECT_EQ(pooled, serial); // joined in index order, bit-identical.
+}
+
+TEST(Parallel, EveryIndexRunsExactlyOnce)
+{
+    const std::size_t n = 517;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, ZeroAndSingleElementEdges)
+{
+    std::atomic<int> calls{0};
+    parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+    parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Parallel, SerialCapRunsOnCallingThread)
+{
+    const std::thread::id self = std::this_thread::get_id();
+    parallelFor(
+        16, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), self); },
+        1);
+}
+
+TEST(Parallel, LowestIndexExceptionWins)
+{
+    // Every iteration runs; the exception of the lowest throwing index
+    // is rethrown regardless of which thread threw first.
+    std::vector<std::atomic<int>> hits(64);
+    try {
+        parallelFor(64, [&](std::size_t i) {
+            ++hits[i];
+            if (i == 7 || i == 55)
+                throw std::runtime_error("boom at " + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom at 7");
+    }
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, SerialPathMatchesExceptionContract)
+{
+    std::vector<std::atomic<int>> hits(8);
+    EXPECT_THROW(parallelFor(
+                     8,
+                     [&](std::size_t i) {
+                         ++hits[i];
+                         if (i == 2)
+                             throw std::runtime_error("serial boom");
+                     },
+                     1),
+                 std::runtime_error);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, NestedParallelForCompletes)
+{
+    // A body that fans out again must not deadlock even when every
+    // pool worker is busy with the outer batch: the inner submitter
+    // drains its own batch. Results stay index-deterministic.
+    const std::size_t outer = 8, inner = 32;
+    std::vector<std::uint64_t> sums(outer, 0);
+    parallelFor(outer, [&](std::size_t o) {
+        const std::vector<std::uint64_t> part =
+            parallelMap<std::uint64_t>(inner, [&](std::size_t i) {
+                return mix(o * inner + i);
+            });
+        sums[o] = std::accumulate(part.begin(), part.end(),
+                                  std::uint64_t{0});
+    });
+    for (std::size_t o = 0; o < outer; ++o) {
+        std::uint64_t expect = 0;
+        for (std::size_t i = 0; i < inner; ++i)
+            expect += mix(o * inner + i);
+        EXPECT_EQ(sums[o], expect) << "outer " << o;
+    }
+}
+
+TEST(Parallel, ConcurrentExternalSubmitters)
+{
+    // Several plain std::threads submitting batches at once: the pool
+    // must serve all of them without loss or deadlock.
+    const std::size_t submitters = 4, n = 256;
+    std::vector<std::uint64_t> totals(submitters, 0);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < submitters; ++t) {
+        threads.emplace_back([&, t] {
+            const std::vector<std::uint64_t> part =
+                parallelMap<std::uint64_t>(
+                    n, [&](std::size_t i) { return mix(t * n + i); });
+            totals[t] = std::accumulate(part.begin(), part.end(),
+                                        std::uint64_t{0});
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    for (std::size_t t = 0; t < submitters; ++t) {
+        std::uint64_t expect = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            expect += mix(t * n + i);
+        EXPECT_EQ(totals[t], expect) << "submitter " << t;
+    }
+}
+
+TEST(Parallel, ThreadCapIsRespected)
+{
+    // With a cap of 2, at most 2 threads may be inside bodies at once.
+    std::atomic<int> inside{0};
+    std::atomic<int> peak{0};
+    parallelFor(
+        64,
+        [&](std::size_t) {
+            const int now = ++inside;
+            int seen = peak.load();
+            while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+            }
+            std::this_thread::yield();
+            --inside;
+        },
+        2);
+    EXPECT_LE(peak.load(), 2);
+}
+
+} // namespace
+} // namespace mcbp::parallel

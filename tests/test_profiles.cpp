@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "accel/profiles.hpp"
+#include "model/workload.hpp"
 
 namespace mcbp::accel {
 namespace {
@@ -67,6 +68,41 @@ TEST(AttentionProfile, AlphaMonotone)
     AttentionStats loose = profileAttention(m, t, 0.8, 2);
     EXPECT_LE(strict.bgppSelectedFraction,
               loose.bgppSelectedFraction + 0.02);
+}
+
+TEST(AttentionProfile, ParallelBitIdenticalToSerial)
+{
+    // The per-query fan-out derives each query's RNG from (seed, qi)
+    // and joins partial sums in index order, so every statistic must
+    // be bit-identical between the serial reference path (threads=1)
+    // and the thread-pool path (threads=0) — across context buckets,
+    // concentrations and alphas.
+    const model::LlmConfig &m = model::findModel("Llama7B");
+    const struct
+    {
+        std::size_t promptLen;
+        double concentration;
+        double alpha;
+    } cases[] = {
+        {64, 0.10, 0.6},  {256, 0.25, 0.6},  {512, 0.15, 0.5},
+        {2048, 0.10, 0.6}, {1024, 0.20, 0.8},
+    };
+    for (const auto &c : cases) {
+        model::Workload task = model::findTask("Cola");
+        task.promptLen = c.promptLen;
+        task.attentionConcentration = c.concentration;
+        const AttentionStats serial =
+            profileAttention(m, task, c.alpha, 1, 2048, 8, 1);
+        const AttentionStats pooled =
+            profileAttention(m, task, c.alpha, 1, 2048, 8, 0);
+        EXPECT_EQ(serial.bgppSelectedFraction,
+                  pooled.bgppSelectedFraction);
+        EXPECT_EQ(serial.topkFraction, pooled.topkFraction);
+        EXPECT_EQ(serial.bgppPredBitsPerElem, pooled.bgppPredBitsPerElem);
+        EXPECT_EQ(serial.bgppBitMacsPerElem, pooled.bgppBitMacsPerElem);
+        EXPECT_EQ(serial.bgppRecall, pooled.bgppRecall);
+        EXPECT_EQ(serial.valueTopkRecall, pooled.valueTopkRecall);
+    }
 }
 
 TEST(AttentionProfile, LongContextSparser)

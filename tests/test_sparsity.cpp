@@ -145,6 +145,37 @@ TEST(MergeCost, FullMergeWinsOnDuplicatedColumns)
     EXPECT_LT(cost.fullMergeAdds, cost.naiveAdds);
 }
 
+TEST(MergeCost, GoldenCountsOnSyntheticPlane)
+{
+    // Pinned from the original per-bit get() implementation on plane 5
+    // of a fixed synthetic INT8 tile: the word-parallel ColumnKey
+    // rewrite must reproduce every count exactly.
+    Rng rng(18);
+    model::WeightProfile profile;
+    quant::QuantizedWeight qw = model::synthesizeQuantizedWeight(
+        rng, 64, 1024, quant::BitWidth::Int8, profile);
+    SignMagnitude sm = decompose(qw.values, quant::BitWidth::Int8);
+    const MergeCost cost = compareMergeStrategies(sm.magnitude[5], 4);
+    EXPECT_EQ(cost.denseAdds, 65536u);
+    EXPECT_EQ(cost.naiveAdds, 5495u);
+    EXPECT_EQ(cost.fullMergeAdds, 5421u);
+    EXPECT_EQ(cost.fullMergeDenseAdds, 63646u);
+    EXPECT_EQ(cost.groupMergeAdds, 4903u);
+}
+
+TEST(MergeCost, PartialLastWordColumnsCounted)
+{
+    // Columns past the final 64-aligned boundary must dedup too (the
+    // word-parallel walk masks by the plane's true width).
+    BitPlane plane(8, 70);
+    for (std::size_t c = 0; c < 70; ++c)
+        plane.set(2, c, true); // 70 identical single-bit columns
+    const MergeCost cost = compareMergeStrategies(plane, 4);
+    EXPECT_EQ(cost.naiveAdds, 70u);
+    // One distinct column (1 recon add) + 69 merge adds.
+    EXPECT_EQ(cost.fullMergeAdds, 69u + 1u);
+}
+
 TEST(MergeCost, EmptyPlaneCostsNothing)
 {
     BitPlane plane(8, 64);
