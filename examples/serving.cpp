@@ -5,8 +5,9 @@
  * continuous-batching ServingSimulator on three platforms from the
  * registry — the A100 roofline and MCBP standard/aggressive at the
  * paper's 148-processor scale — plus a batching ablation, a
- * tensor-parallel cluster sweep, and a KV-capacity/scheduler study on
- * MCBP.
+ * tensor-parallel cluster sweep, and a KV-capacity study on MCBP:
+ * scheduler policies, then reservation-vs-paged KV admission
+ * (preempt-and-recompute) under the same stress bound.
  *
  * Prints per-request latency percentiles, aggregate tokens/s and
  * J/token, the knobs a serving deployment actually cares about
@@ -35,11 +36,14 @@ report(const engine::ServingReport &r, const std::string &setting,
               fmt(r.tokensPerSecond, 0),
               fmt(r.joulesPerToken * 1e3, 2),
               fmt(r.meanBatchOccupancy, 1),
-              fmt(r.kvPeakBytes / 1e9, 2), fmtX(r.batchingSpeedup())});
+              fmt(r.kvPeakBytes / 1e9, 2),
+              std::to_string(r.preemptions),
+              fmtX(r.batchingSpeedup())});
     json.begin()
         .field("accelerator", r.accelerator)
         .field("setting", setting)
         .field("scheduler", r.scheduler)
+        .field("kv_policy", r.kvPolicy)
         .field("p50_latency_s", r.p50LatencySeconds)
         .field("p90_latency_s", r.p90LatencySeconds)
         .field("p99_latency_s", r.p99LatencySeconds)
@@ -52,6 +56,10 @@ report(const engine::ServingReport &r, const std::string &setting,
         .field("peak_batch", r.peakBatch)
         .field("kv_peak_bytes", r.kvPeakBytes)
         .field("kv_utilization", r.kvUtilization)
+        .field("preemptions", static_cast<double>(r.preemptions))
+        .field("recomputed_tokens",
+               static_cast<double>(r.recomputedTokens))
+        .field("kv_block_utilization", r.kvBlockUtilization)
         .field("batching_speedup", r.batchingSpeedup());
 }
 
@@ -82,7 +90,7 @@ main(int argc, char **argv)
     engine::Registry registry;
     Table t({"Accelerator", "Setting", "p50 [s]", "p99 [s]",
              "p99 queue [s]", "tok/s", "mJ/token", "mean batch",
-             "KV peak [GB]", "batching gain"});
+             "KV peak [GB]", "preempt", "batching gain"});
 
     // --- The fleet ------------------------------------------------------
     for (const std::string &spec :
@@ -139,6 +147,41 @@ main(int argc, char **argv)
                "kv-bounded," + engine::toString(policy), t, json);
     }
 
+    // --- KV admission policy: reservation vs block paging ----------------
+    // Same stress bound, both KV policies: `reserve` holds each
+    // request's full (prompt + decode) footprint from admission, so
+    // the queue absorbs the pressure; `paged` allocates 16-token
+    // blocks as requests actually grow and preempts the youngest
+    // running request for recompute when growth overflows — more of
+    // the trace gets in sooner, paid for in recompute prefills.
+    for (engine::KvPolicy kv_policy : engine::allKvPolicies()) {
+        engine::ServingOptions opts;
+        opts.maxBatch = 32;
+        opts.kvCapacityBytes = kv_budget;
+        opts.kvPolicy = kv_policy;
+        engine::ServingSimulator sim(*mcbp, opts);
+        report(sim.simulate(trace),
+               "kv=" + engine::toString(kv_policy), t, json);
+    }
+
+    // A tp=4 shard holds 1/4 of every token's KV, so its share of the
+    // budget is 1/4 too — the aggregate ledger is exact by symmetry.
+    {
+        auto tp4 = registry.make("mcbp:procs=148,tp=4");
+        const engine::Capabilities c4 = tp4->capabilities();
+        std::cout << "tp=4 KV sharding: " << c4.kvShards
+                  << " shards, per-shard HBM "
+                  << c4.hbmCapacityBytes / 1e9 /
+                         static_cast<double>(c4.kvShards)
+                  << " GB\n";
+        engine::ServingOptions opts;
+        opts.maxBatch = 32;
+        opts.kvCapacityBytes = kv_budget;
+        opts.kvPolicy = engine::KvPolicy::Paged;
+        engine::ServingSimulator sim(*tp4, opts);
+        report(sim.simulate(trace), "kv=paged,tp=4", t, json);
+    }
+
     std::cout << "\nServing the trace (continuous batching):\n";
     t.print(std::cout);
     std::cout
@@ -148,7 +191,8 @@ main(int argc, char **argv)
            "tp=N keeps cutting decode latency until the all-reduce "
            "floor shows; a bounded KV budget turns admission into "
            "the bottleneck, where the scheduler policy sets the "
-           "queue-time tail.\n";
+           "queue-time tail and the paged KV policy trades recompute "
+           "prefills for earlier admission.\n";
 
     json.writeIfRequested(argc, argv);
     return 0;

@@ -41,6 +41,15 @@ struct Capabilities
     /** Aggregate HBM capacity in bytes across all chips (0 = unknown).
      *  Serving admission derives its KV budget from this. */
     double hbmCapacityBytes = 0.0;
+    /**
+     * Tensor-parallel shards the KV cache splits across
+     * (ClusterAccelerator sets its tp degree; 1 for a bare chip).
+     * Each shard holds 1/kvShards of every token's KV — the head
+     * split — so per-shard KV capacity is hbmCapacityBytes/kvShards
+     * and the aggregate block ledger the serving engine keeps is
+     * exactly kvShards symmetric per-shard copies.
+     */
+    std::size_t kvShards = 1;
 };
 
 /** Abstract accelerator: one (model, task) inference run at a time. */

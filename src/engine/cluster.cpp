@@ -40,6 +40,11 @@ ClusterAccelerator::capabilities() const
     Capabilities c = chip_->capabilities();
     c.processors *= opts_.tensorParallel;
     c.hbmCapacityBytes *= static_cast<double>(opts_.tensorParallel);
+    // Every shard stores 1/N of each token's KV (the head split), so
+    // per-shard KV capacity is 1/N of the fleet HBM advertised above;
+    // serving's block ledger stays aggregate-exact by symmetry (see
+    // kv_block_manager.hpp).
+    c.kvShards = opts_.tensorParallel;
     return c;
 }
 

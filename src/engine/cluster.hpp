@@ -18,6 +18,12 @@
  * tp=1 is the identity: run() returns the wrapped chip's RunMetrics
  * verbatim, so a tp=1 cluster is bit-identical to the bare adapter
  * (tests/test_cluster.cpp asserts this down to the serving report).
+ *
+ * KV capacity scales with the fleet: capabilities() advertises N x
+ * the chip's HBM and sets Capabilities::kvShards = N — each shard
+ * stores 1/N of every token's KV (the head split), so per-shard KV
+ * capacity is 1/N of the fleet HBM and the serving engine's aggregate
+ * block accounting is exact by shard symmetry (kv_block_manager.hpp).
  */
 #pragma once
 

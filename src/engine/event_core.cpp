@@ -10,12 +10,13 @@
 namespace mcbp::engine {
 
 EventCore::EventCore(const Scheduler &scheduler, std::size_t maxBatch,
-                     double kvCapacityBytes)
-    : scheduler_(&scheduler), maxBatch_(maxBatch),
-      kvCapacityBytes_(kvCapacityBytes)
+                     KvOptions kv, PrefillPricer repricer)
+    : scheduler_(&scheduler), maxBatch_(maxBatch), kv_(kv),
+      repricer_(std::move(repricer))
 {
     fatalIf(maxBatch_ == 0, "maxBatch must be positive");
-    fatalIf(kvCapacityBytes_ < 0.0, "KV capacity must be >= 0");
+    fatalIf(kv_.policy == KvPolicy::Paged && !repricer_,
+            "paged KV needs a prefill re-pricer for recompute");
 }
 
 EventStats
@@ -24,10 +25,15 @@ EventCore::run(std::vector<CostedRequest> &requests) const
     EventStats stats;
     stats.completed.reserve(requests.size());
 
-    // A request larger than the whole budget would wait forever.
-    if (kvCapacityBytes_ > 0.0)
+    const bool paged = kv_.policy == KvPolicy::Paged;
+    const bool bounded = !kvUnbounded(kv_.capacityBytes);
+    KvBlockManager pool(kv_);
+
+    // A request larger than the whole budget would wait forever (even
+    // paged: its final residency can never be held).
+    if (bounded)
         for (const CostedRequest &c : requests)
-            fatalIf(c.kvBytes > kvCapacityBytes_,
+            fatalIf(c.kvBytes > kv_.capacityBytes,
                     "request KV footprint exceeds the configured "
                     "capacity; it can never be admitted");
 
@@ -42,17 +48,60 @@ EventCore::run(std::vector<CostedRequest> &requests) const
                      });
 
     double clock = 0.0;
-    double kv_in_use = 0.0;
+    double kv_in_use = 0.0; // Reserve-policy byte ledger.
     std::size_t next_arrival = 0;
     std::deque<CostedRequest *> waiting;
-    std::vector<CostedRequest *> active;
+    std::vector<CostedRequest *> active; // Admission order.
     std::vector<AdmissionCandidate> candidates;
+
+    // Tokens of c's KV resident after a (re)prefill: the prompt plus
+    // whatever decode progress a recompute restores. Prefill-only
+    // requests retain nothing.
+    auto resident_tokens = [](const CostedRequest &c) -> std::size_t {
+        if (c.req->decodeLen == 0)
+            return 0;
+        return c.promptTokens + (c.req->decodeLen - c.remainingTokens);
+    };
 
     auto finish = [&](CostedRequest &c) {
         c.completionCycles = clock;
-        kv_in_use -= c.kvBytes;
+        if (paged) {
+            pool.remove(c.kvAllocatedBytes, c.kvNeededBytes);
+            c.kvAllocatedBytes = 0.0;
+            c.kvNeededBytes = 0.0;
+        } else {
+            kv_in_use -= c.kvBytes;
+        }
         stats.completed.push_back(&c);
     };
+
+    // Preempt the youngest running request (vLLM's recompute rule):
+    // free its blocks, re-price its recompute prefill — the prompt
+    // plus every token it has generated, replayed through the
+    // accelerator's prefill path — and re-queue it at the head.
+    auto preempt_youngest = [&] {
+        panicIf(active.empty(), "preemption with an empty batch");
+        CostedRequest *c = active.back();
+        active.pop_back();
+        pool.remove(c->kvAllocatedBytes, c->kvNeededBytes);
+        c->kvAllocatedBytes = 0.0;
+        c->kvNeededBytes = 0.0;
+        const std::size_t progress =
+            c->req->decodeLen - c->remainingTokens;
+        c->recomputedTokens += progress;
+        stats.recomputedTokens += progress;
+        ++c->preemptions;
+        ++stats.preemptions;
+        const PrefillPrice price =
+            repricer_(*c, c->promptTokens + progress);
+        c->prefillCycles = price.cycles;
+        // The recompute's energy is genuinely spent on top of whatever
+        // the request already burned; charge it now (the re-admission
+        // always happens — the loop runs the trace to completion).
+        c->joules += price.joules;
+        waiting.push_front(c);
+    };
+
     // Pull every request that has arrived by the current clock into
     // the waiting queue (arrival order).
     auto pull_arrivals = [&] {
@@ -67,10 +116,14 @@ EventCore::run(std::vector<CostedRequest> &requests) const
         // FP residue means a reservation leaked), then clear the
         // residue so exact-capacity admission can never stall on one.
         if (active.empty()) {
-            panicIf(std::abs(kv_in_use) > 1.0,
-                    "KV accounting leak: idle engine still holds "
-                    "reserved bytes");
-            kv_in_use = 0.0;
+            if (paged) {
+                pool.clearIdleResidual();
+            } else {
+                panicIf(std::abs(kv_in_use) > 1.0,
+                        "KV accounting leak: idle engine still holds "
+                        "reserved bytes");
+                kv_in_use = 0.0;
+            }
         }
 
         pull_arrivals();
@@ -86,8 +139,11 @@ EventCore::run(std::vector<CostedRequest> &requests) const
         // Admission: the scheduler picks among the admissible waiting
         // requests — a free batch slot, the running batch's model (the
         // engine serves one model at a time; an empty batch anchors on
-        // whatever is admitted first), and a KV reservation that fits.
-        // Each admission pays its prefill before joining the batch.
+        // whatever is admitted first), and a KV allocation that fits:
+        // the full footprint under Reserve, the current residency
+        // (plus the low-watermark growth headroom while others run)
+        // under Paged. Each admission pays its prefill before joining
+        // the batch.
         bool admitted_any = false;
         while (!waiting.empty() && active.size() < maxBatch_) {
             // Refresh arrivals first: a prefill just paid advanced the
@@ -103,14 +159,33 @@ EventCore::run(std::vector<CostedRequest> &requests) const
                 AdmissionCandidate cand;
                 cand.promptLen = c->req->promptLen;
                 cand.decodeLen = c->req->decodeLen;
-                cand.admissible =
-                    (batch_model == nullptr ||
-                     c->req->model == *batch_model) &&
-                    (kvCapacityBytes_ <= 0.0 ||
-                     kv_in_use + c->kvBytes <= kvCapacityBytes_);
+                cand.waitCycles = clock - c->arrivalCycles;
+                cand.prefillCycles = c->prefillCycles;
+                const bool model_ok = batch_model == nullptr ||
+                                      c->req->model == *batch_model;
+                bool kv_ok;
+                if (paged) {
+                    const double alloc = pool.allocatedBytes(
+                        c->kvBytesPerToken, resident_tokens(*c));
+                    kv_ok = pool.fits(alloc, !active.empty());
+                } else {
+                    kv_ok = !bounded ||
+                            kv_in_use + c->kvBytes <= kv_.capacityBytes;
+                }
+                cand.admissible = model_ok && kv_ok;
                 candidates.push_back(cand);
             }
-            const std::size_t pick = scheduler_->pick(candidates);
+            KvPressure pressure;
+            pressure.bounded = bounded;
+            if (bounded) {
+                const double used = paged ? pool.usedBytes() : kv_in_use;
+                pressure.freeBytes =
+                    std::max(0.0, kv_.capacityBytes - used);
+                pressure.freeFraction =
+                    pressure.freeBytes / kv_.capacityBytes;
+            }
+            const std::size_t pick =
+                scheduler_->pick(candidates, pressure);
             if (pick == Scheduler::npos)
                 break;
             panicIf(pick >= candidates.size() ||
@@ -119,9 +194,24 @@ EventCore::run(std::vector<CostedRequest> &requests) const
             CostedRequest *c = waiting[pick];
             waiting.erase(waiting.begin() +
                           static_cast<std::ptrdiff_t>(pick));
-            c->admissionCycles = clock;
-            kv_in_use += c->kvBytes;
-            stats.kvPeakBytes = std::max(stats.kvPeakBytes, kv_in_use);
+            if (!c->admitted) {
+                c->admitted = true;
+                c->admissionCycles = clock; // First admission only:
+            }                               // queue wait ends here.
+            if (paged) {
+                const std::size_t tokens = resident_tokens(*c);
+                const double alloc =
+                    pool.allocatedBytes(c->kvBytesPerToken, tokens);
+                const double need = c->kvBytesPerToken *
+                                    static_cast<double>(tokens);
+                pool.add(alloc, need);
+                c->kvAllocatedBytes = alloc;
+                c->kvNeededBytes = need;
+            } else {
+                kv_in_use += c->kvBytes;
+                stats.kvPeakBytes =
+                    std::max(stats.kvPeakBytes, kv_in_use);
+            }
             clock += c->prefillCycles;
             stats.busyCycles += c->prefillCycles;
             admitted_any = true;
@@ -138,7 +228,8 @@ EventCore::run(std::vector<CostedRequest> &requests) const
             // can unblock a (KV-starved) head, since an idle engine
             // holds no KV. Covered by the idle jump above unless the
             // scheduler violated its contract.
-            panicIf(waiting.empty() || kv_in_use > 0.0,
+            panicIf(waiting.empty() ||
+                        (paged ? pool.usedBytes() : kv_in_use) > 0.0,
                     "admission stalled with an idle engine");
             panicIf(next_arrival >= order.size(),
                     "admission livelock: waiting requests can never "
@@ -146,6 +237,46 @@ EventCore::run(std::vector<CostedRequest> &requests) const
             clock = std::max(clock,
                              requests[order[next_arrival]].arrivalCycles);
             continue;
+        }
+
+        // Paged growth: every active request appends this iteration's
+        // token to its KV, allocating a new block when the last one
+        // fills. While the pool cannot hold the batch's growth, evict
+        // the youngest running request; the footprint precheck above
+        // guarantees the oldest alone always fits, so this terminates
+        // with at least one survivor.
+        if (paged) {
+            for (;;) {
+                double extra = 0.0;
+                for (const CostedRequest *c : active)
+                    extra += pool.allocatedBytes(c->kvBytesPerToken,
+                                                 resident_tokens(*c) +
+                                                     1) -
+                             c->kvAllocatedBytes;
+                // A lone survivor always fits: the footprint precheck
+                // bounds its largest residency by the capacity (the
+                // fits() miss can only be the pool's FP residue).
+                if (pool.fits(extra, /*admission=*/false) ||
+                    active.size() == 1)
+                    break;
+                preempt_youngest();
+            }
+            for (CostedRequest *c : active) {
+                const std::size_t tokens = resident_tokens(*c) + 1;
+                const double alloc =
+                    pool.allocatedBytes(c->kvBytesPerToken, tokens);
+                const double need = c->kvBytesPerToken *
+                                    static_cast<double>(tokens);
+                pool.add(alloc - c->kvAllocatedBytes,
+                         need - c->kvNeededBytes);
+                c->kvAllocatedBytes = alloc;
+                c->kvNeededBytes = need;
+            }
+            if (pool.usedBytes() > 0.0) {
+                stats.kvBlockUtilizationSum +=
+                    pool.neededBytes() / pool.usedBytes();
+                ++stats.kvBlockUtilizationIters;
+            }
         }
 
         // One decode iteration: everyone advances one token. The weight
@@ -201,6 +332,10 @@ EventCore::run(std::vector<CostedRequest> &requests) const
     }
 
     stats.clockCycles = clock;
+    if (paged) {
+        stats.kvPeakBytes = pool.peakUsedBytes();
+        stats.kvFragmentationPeakBytes = pool.peakFragmentationBytes();
+    }
     return stats;
 }
 

@@ -6,24 +6,40 @@
  * underlying Accelerator (a CostedRequest); this core then plays the
  * trace forward in cycle time: it pulls arrivals into the waiting
  * queue, asks the pluggable Scheduler which waiting request to admit
- * (charging its prefill and its KV-cache reservation), and advances
+ * (charging its prefill and its KV-cache allocation), and advances
  * the active batch one decode token per iteration, re-composing the
  * shared weight stream against the batch's summed linear work exactly
  * the way the wrapped model composed it at batch 1.
  *
- * Memory-boundedness lives here: every request reserves the KV bytes
- * of its full (prompt + decode) residency at admission and releases
- * them at completion, so in-flight KV can never exceed the configured
- * capacity — requests queue instead (the vLLM-style conservative
- * admission rule; with full reservation no preemption is ever needed,
- * because an admitted request can always run to completion).
+ * Memory-boundedness lives here, under one of two KV policies
+ * (kv_block_manager.hpp):
+ *
+ *  - Reserve: every request reserves the KV bytes of its full
+ *    (prompt + decode) residency at admission and releases them at
+ *    completion, so an admitted request can always run to completion
+ *    and no preemption is ever needed (the conservative rule).
+ *
+ *  - Paged: KV is allocated in blocks as a request actually grows.
+ *    Admission charges only the current residency, each decode
+ *    iteration appends one token per active request (allocating a
+ *    block when the last one fills), and when the pool cannot hold
+ *    the batch's growth the youngest running request is preempted:
+ *    its blocks are freed, its recompute prefill (prompt + generated
+ *    tokens) is re-priced through the caller-supplied PrefillPricer,
+ *    and it rejoins the head of the waiting queue.
+ *
+ * Either way, in-flight KV never exceeds the configured capacity
+ * (<= 0 = unbounded, the unified sentinel), and requests whose
+ * decodeLen is 0 hold no KV at all.
  */
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "engine/kv_block_manager.hpp"
 #include "engine/scheduler.hpp"
 #include "model/request.hpp"
 
@@ -34,6 +50,8 @@ struct CostedRequest
 {
     const model::Request *req = nullptr;
     double arrivalCycles = 0.0;
+    /** Prefill cycles the next admission pays (re-priced to the
+     *  recompute length after a preemption). */
     double prefillCycles = 0.0;
     /** Per-token weight-stream cycles (shared across a decode batch). */
     double weightCyclesPerToken = 0.0;
@@ -53,15 +71,27 @@ struct CostedRequest
     double weightJoulesPerToken = 0.0;
     double otherJoulesPerToken = 0.0;
     double joules = 0.0; ///< Accumulated as the request is served.
-    /** KV-cache bytes this request holds resident once admitted
-     *  (full prompt + decode reservation). */
+    /** KV-cache bytes of this request's full footprint (its largest
+     *  residency; policy-quantized — see kvFootprintBytes). Reserve
+     *  admission charges exactly this; paged admission grows to at
+     *  most this. 0 for decodeLen == 0 requests. */
     double kvBytes = 0.0;
+    /** Per-token KV bytes of the request's model. */
+    double kvBytesPerToken = 0.0;
+    /** Prompt tokens resident after (re)prefill. */
+    std::size_t promptTokens = 0;
     std::size_t remainingTokens = 0;
     bool firstTokenSeen = false;
     double firstTokenCycles = 0.0;
     /** Written by the event core as the request is served. */
-    double admissionCycles = 0.0;
+    bool admitted = false;
+    double admissionCycles = 0.0; ///< First admission (queue wait ends).
     double completionCycles = 0.0;
+    /** Paged-policy state: current block-rounded residency. */
+    double kvAllocatedBytes = 0.0;
+    double kvNeededBytes = 0.0;
+    std::size_t preemptions = 0;
+    std::size_t recomputedTokens = 0;
 };
 
 /** Aggregate outcome of one event-loop run, in cycles. */
@@ -73,17 +103,41 @@ struct EventStats
     std::size_t iterations = 0; ///< Decode iterations executed.
     std::size_t peakBatch = 0;
     double kvPeakBytes = 0.0;   ///< Peak in-flight KV residency.
+    /** Paged policy: preempt-and-recompute counters. */
+    std::size_t preemptions = 0;
+    std::size_t recomputedTokens = 0;
+    /** Paged policy: peak internal fragmentation (allocated - needed). */
+    double kvFragmentationPeakBytes = 0.0;
+    /** Paged policy: sum over decode iterations of needed/allocated
+     *  bytes (block fill), and the iterations counted. */
+    double kvBlockUtilizationSum = 0.0;
+    std::size_t kvBlockUtilizationIters = 0;
     /** Requests in completion order (admission/completion cycles set). */
     std::vector<CostedRequest *> completed;
 };
 
-/** The event loop: one engine, one scheduler, one KV budget. */
+/** Recompute price of one (re)prefill over @p residentTokens tokens. */
+struct PrefillPrice
+{
+    double cycles = 0.0;
+    double joules = 0.0;
+};
+
+/**
+ * Prices a prefill of @p residentTokens tokens (prompt + recomputed
+ * decode progress) for @p request through the accelerator's prefill
+ * path. Required by the paged policy; never called under Reserve.
+ */
+using PrefillPricer =
+    std::function<PrefillPrice(const CostedRequest &request,
+                               std::size_t residentTokens)>;
+
+/** The event loop: one engine, one scheduler, one KV pool. */
 class EventCore
 {
   public:
-    /** @param kvCapacityBytes 0 = unbounded. */
     EventCore(const Scheduler &scheduler, std::size_t maxBatch,
-              double kvCapacityBytes);
+              KvOptions kv, PrefillPricer repricer = nullptr);
 
     /** Play @p requests to completion. */
     EventStats run(std::vector<CostedRequest> &requests) const;
@@ -91,7 +145,8 @@ class EventCore
   private:
     const Scheduler *scheduler_;
     std::size_t maxBatch_;
-    double kvCapacityBytes_;
+    KvOptions kv_;
+    PrefillPricer repricer_;
 };
 
 } // namespace mcbp::engine

@@ -13,7 +13,8 @@ class FifoScheduler final : public Scheduler
     std::string name() const override { return "fifo"; }
 
     std::size_t
-    pick(const std::vector<AdmissionCandidate> &waiting) const override
+    pick(const std::vector<AdmissionCandidate> &waiting,
+         const KvPressure &) const override
     {
         if (!waiting.empty() && waiting.front().admissible)
             return 0;
@@ -28,7 +29,8 @@ class SkipAheadScheduler final : public Scheduler
     std::string name() const override { return "skip-ahead"; }
 
     std::size_t
-    pick(const std::vector<AdmissionCandidate> &waiting) const override
+    pick(const std::vector<AdmissionCandidate> &waiting,
+         const KvPressure &) const override
     {
         for (std::size_t i = 0; i < waiting.size(); ++i)
             if (waiting[i].admissible)
@@ -37,25 +39,47 @@ class SkipAheadScheduler final : public Scheduler
     }
 };
 
-/** Shortest admissible prompt (SJF on prefill cost; ties by age). */
+/**
+ * Cheapest aged prefill (SJF on prefill cost, ties by queue order).
+ * The aging credit — agingWeight cycles of key per cycle waited —
+ * bounds starvation: a long prompt outranks every fresh short arrival
+ * once it has waited the prefill-cost difference, so its queue time
+ * under a sustained short-prompt flood is bounded by its own prefill
+ * cost over the aging weight (plus one service interval), instead of
+ * by the flood's length.
+ */
 class ShortestPromptScheduler final : public Scheduler
 {
   public:
+    explicit ShortestPromptScheduler(double agingWeight)
+        : agingWeight_(agingWeight)
+    {
+        fatalIf(agingWeight_ < 0.0, "SJF aging weight must be >= 0");
+    }
+
     std::string name() const override { return "shortest-prompt"; }
 
     std::size_t
-    pick(const std::vector<AdmissionCandidate> &waiting) const override
+    pick(const std::vector<AdmissionCandidate> &waiting,
+         const KvPressure &) const override
     {
         std::size_t best = npos;
+        double best_key = 0.0;
         for (std::size_t i = 0; i < waiting.size(); ++i) {
             if (!waiting[i].admissible)
                 continue;
-            if (best == npos ||
-                waiting[i].promptLen < waiting[best].promptLen)
+            const double key = waiting[i].prefillCycles -
+                               agingWeight_ * waiting[i].waitCycles;
+            if (best == npos || key < best_key) {
                 best = i;
+                best_key = key;
+            }
         }
         return best;
     }
+
+  private:
+    double agingWeight_;
 };
 
 } // namespace
@@ -94,7 +118,7 @@ allSchedulerPolicies()
 }
 
 std::unique_ptr<Scheduler>
-makeScheduler(SchedulerPolicy policy)
+makeScheduler(SchedulerPolicy policy, double sjfAgingWeight)
 {
     switch (policy) {
     case SchedulerPolicy::Fifo:
@@ -102,7 +126,7 @@ makeScheduler(SchedulerPolicy policy)
     case SchedulerPolicy::SkipAhead:
         return std::make_unique<SkipAheadScheduler>();
     case SchedulerPolicy::ShortestPromptFirst:
-        return std::make_unique<ShortestPromptScheduler>();
+        return std::make_unique<ShortestPromptScheduler>(sjfAgingWeight);
     }
     panic("unhandled scheduler policy");
 }

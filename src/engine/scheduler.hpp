@@ -5,9 +5,9 @@
  * The discrete-event core (event_core.hpp) owns the mechanics — the
  * clock, arrivals, KV accounting, decode iterations — and delegates
  * exactly one decision to a Scheduler: given the waiting queue (in
- * arrival order) and which entries are currently admissible (free batch
- * slot, same model as the running batch, KV reservation fits), which
- * request is admitted next?
+ * arrival order), which entries are currently admissible (free batch
+ * slot, same model as the running batch, KV allocation fits), and the
+ * current KV-pool pressure, which request is admitted next?
  *
  * Three policies ship:
  *  - strict FIFO: admit the queue head or nobody. A different-model or
@@ -17,8 +17,19 @@
  *    blocked head so same-model traffic keeps batching through a model
  *    switch or a KV-capacity stall.
  *  - shortest-prompt-first: admit the admissible request with the
- *    shortest prompt (ties by age), trading worst-case wait for lower
- *    mean latency under mixed prompt lengths (SJF on the prefill cost).
+ *    cheapest *aged* prefill — SJF on the prefill cost with an aging
+ *    credit (agingWeight x the candidate's queue wait, in cycles)
+ *    subtracted from its key, so a long prompt cannot be starved by a
+ *    sustained flood of short ones: once it has waited its own extra
+ *    prefill cost, it outranks any fresh short arrival. agingWeight 0
+ *    restores the pure (starvation-prone) SJF.
+ *
+ * Schedulers also see the KV pool's free-space pressure (KvPressure)
+ * and may return npos to defer admission entirely — e.g. to hold
+ * blocks back for running requests when the pool is nearly full. The
+ * built-in policies admit whenever something is admissible; the event
+ * core already enforces the paged low-watermark in the admissible
+ * flag itself.
  */
 #pragma once
 
@@ -51,8 +62,24 @@ struct AdmissionCandidate
 {
     std::size_t promptLen = 0;
     std::size_t decodeLen = 0;
-    /** Free slot + model compatible + KV reservation fits, right now. */
+    /** Cycles this candidate has waited since its arrival. */
+    double waitCycles = 0.0;
+    /**
+     * Prefill cycles admitting it would pay right now (for a
+     * preempted request this is the re-priced recompute prefill over
+     * its prompt + generated tokens).
+     */
+    double prefillCycles = 0.0;
+    /** Free slot + model compatible + KV allocation fits, right now. */
     bool admissible = false;
+};
+
+/** KV-pool pressure at the moment of an admission decision. */
+struct KvPressure
+{
+    bool bounded = false;      ///< False when the pool is unbounded.
+    double freeBytes = 0.0;    ///< Unallocated pool bytes (bounded only).
+    double freeFraction = 1.0; ///< freeBytes / capacity (1 unbounded).
 };
 
 /** Admission-order policy. Stateless; the event core owns all state. */
@@ -68,13 +95,25 @@ class Scheduler
 
     /**
      * Index into @p waiting (arrival order) of the request to admit
-     * next, or npos to wait. Must return an admissible index.
+     * next, or npos to wait — e.g. deferring under @p kv pressure.
+     * Must return an admissible index. Deferral requires someone
+     * else to make progress: npos with an idle engine and no future
+     * arrival left to wake it is a contract violation the event core
+     * panics on (admission livelock).
      */
     virtual std::size_t
-    pick(const std::vector<AdmissionCandidate> &waiting) const = 0;
+    pick(const std::vector<AdmissionCandidate> &waiting,
+         const KvPressure &kv) const = 0;
 };
 
-/** Build the scheduler implementing @p policy. */
-std::unique_ptr<Scheduler> makeScheduler(SchedulerPolicy policy);
+/**
+ * Build the scheduler implementing @p policy. @p sjfAgingWeight is the
+ * shortest-prompt policy's starvation bound: the aging credit per
+ * waited cycle subtracted from a candidate's prefill-cycle key (1.0 =
+ * cycle-for-cycle, the default; 0 = pure SJF). Other policies ignore
+ * it.
+ */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerPolicy policy,
+                                         double sjfAgingWeight = 1.0);
 
 } // namespace mcbp::engine

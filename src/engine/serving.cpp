@@ -41,10 +41,19 @@ ServingSimulator::ServingSimulator(const Accelerator &accel,
 ServingReport
 ServingSimulator::simulate(const std::vector<model::Request> &trace) const
 {
-    fatalIf(trace.empty(), "serving trace is empty");
-
     ServingReport report;
     report.accelerator = accel_->name();
+    report.kvPolicy = toString(opts_.kvPolicy);
+
+    const std::unique_ptr<Scheduler> scheduler =
+        makeScheduler(opts_.policy, opts_.sjfAgingWeight);
+    report.scheduler = scheduler->name();
+
+    // An empty (or fully filtered) trace is a well-defined zeroed
+    // report, not an error: no request metrics, no percentiles to
+    // index into, every aggregate 0.
+    if (trace.empty())
+        return report;
 
     // ---- Warm the profile cache on all cores ----------------------------
     // The costing loop below is serial; without this, a cold cache would
@@ -61,6 +70,12 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
         cache->warm(requests, opts_.profileThreads);
     }
 
+    KvOptions kv;
+    kv.policy = opts_.kvPolicy;
+    kv.capacityBytes = opts_.kvCapacityBytes;
+    kv.blockTokens = opts_.kvBlockTokens;
+    kv.lowWatermark = opts_.kvLowWatermark;
+
     // ---- Cost each request with a batch-1 run ---------------------------
     double clock_ghz = 0.0;
     std::vector<CostedRequest> costs;
@@ -76,10 +91,13 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
         c.req = &req;
         c.arrivalCycles = req.arrivalSeconds * clock_ghz * 1e9;
         c.prefillCycles = rm.prefill.cycles;
-        // Full-residency reservation: the prompt's KV plus every token
-        // the request will generate, held until completion.
-        c.kvBytes = static_cast<double>(m.kvBytesPerToken()) *
-                    static_cast<double>(req.promptLen + req.decodeLen);
+        // Largest-residency footprint, quantized by the KV policy:
+        // exact (prompt + decode) bytes under reserve, whole blocks
+        // under paged, 0 when no token is ever generated.
+        c.kvBytesPerToken = static_cast<double>(m.kvBytesPerToken());
+        c.promptTokens = req.promptLen;
+        c.kvBytes = kvFootprintBytes(kv, c.kvBytesPerToken,
+                                     req.promptLen, req.decodeLen);
         const double procs = static_cast<double>(rm.processors);
         // Start from the prefill energy; decode energy accrues per
         // served token with the weight stream amortized.
@@ -114,12 +132,27 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
         report.serialJoules += rm.joules();
     }
 
-    // ---- Discrete-event loop under the selected policy ------------------
-    const std::unique_ptr<Scheduler> scheduler =
-        makeScheduler(opts_.policy);
-    report.scheduler = scheduler->name();
-    const EventCore core(*scheduler, opts_.maxBatch,
-                         opts_.kvCapacityBytes);
+    // ---- Discrete-event loop under the selected policies ----------------
+    // The paged policy re-prices a preempted request's recompute —
+    // its prompt plus every generated token, replayed as one prefill
+    // — through the accelerator's own prefill path, so recompute
+    // cycles and energy follow the same model as first admission.
+    PrefillPricer repricer;
+    if (opts_.kvPolicy == KvPolicy::Paged)
+        repricer = [this](const CostedRequest &c, std::size_t tokens) {
+            const model::LlmConfig &m = model::findModel(c.req->model);
+            model::Workload w = c.req->workload();
+            w.promptLen = tokens;
+            w.decodeLen = 0;
+            const accel::RunMetrics rm = accel_->run(m, w);
+            PrefillPrice price;
+            price.cycles = rm.prefill.cycles;
+            price.joules = rm.prefill.energy.totalPj() * 1e-12 *
+                           static_cast<double>(rm.processors);
+            return price;
+        };
+    const EventCore core(*scheduler, opts_.maxBatch, kv,
+                         std::move(repricer));
     const EventStats stats = core.run(costs);
 
     // ---- Aggregate ------------------------------------------------------
@@ -137,6 +170,8 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
         rmx.completionSeconds = c->completionCycles * to_seconds;
         rmx.decodeTokens = c->req->decodeLen;
         rmx.kvBytes = c->kvBytes;
+        rmx.preemptions = c->preemptions;
+        rmx.recomputedTokens = c->recomputedTokens;
         rmx.joules = c->joules;
         report.requests.push_back(rmx);
     }
@@ -145,9 +180,23 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
     report.busySeconds = stats.busyCycles * to_seconds;
     report.peakBatch = stats.peakBatch;
     report.kvPeakBytes = stats.kvPeakBytes;
-    report.kvUtilization = opts_.kvCapacityBytes > 0.0
+    report.kvUtilization = !kvUnbounded(opts_.kvCapacityBytes)
                                ? stats.kvPeakBytes / opts_.kvCapacityBytes
                                : 0.0;
+    report.preemptions = stats.preemptions;
+    report.recomputedTokens = stats.recomputedTokens;
+    report.kvBlockUtilization =
+        stats.kvBlockUtilizationIters > 0
+            ? stats.kvBlockUtilizationSum /
+                  static_cast<double>(stats.kvBlockUtilizationIters)
+            : 0.0;
+    report.kvFragmentationPeakBytes = stats.kvFragmentationPeakBytes;
+
+    // Percentiles are only defined over completed requests; an empty
+    // completion set (nothing ever admitted) keeps the zeroed report
+    // fields instead of indexing into empty sample vectors.
+    if (report.requests.empty())
+        return report;
 
     std::vector<double> latencies;
     std::vector<double> queue_waits;

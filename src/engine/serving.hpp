@@ -15,8 +15,8 @@
  *    Accelerator and aggregates the report;
  *  - event_core.hpp plays the costed trace through a discrete-event
  *    loop, delegating admission order to a pluggable Scheduler
- *    (scheduler.hpp: strict FIFO, skip-ahead same-model batching, or
- *    shortest-prompt-first) and enforcing the KV-capacity budget.
+ *    (scheduler.hpp) and KV accounting to the selected KvPolicy
+ *    (kv_block_manager.hpp).
  *
  * The cost model is built from the per-phase PhaseMetrics the unified
  * run() interface already produces for a batch-1 run of each request:
@@ -31,12 +31,19 @@
  * This makes batched total busy time provably <= the serial sum of the
  * individual runs, with equality at maxBatch=1.
  *
- * Serving is memory-bounded when a KV capacity is configured: each
- * request reserves kvBytesPerToken x (prompt + decode) bytes at
- * admission and holds them until completion, so peak KV residency
- * (reported as kvPeakBytes) never exceeds the budget; requests queue
- * while they do not fit, and the queue-time percentiles expose the
- * wait that costs.
+ * Serving is memory-bounded when a KV capacity is configured
+ * (kvCapacityBytes > 0; any value <= 0 means unbounded — the unified
+ * sentinel). Under the default `reserve` policy each request reserves
+ * kvBytesPerToken x (prompt + decode) bytes at admission and holds
+ * them until completion. Under `paged`, KV is allocated in blocks of
+ * kvBlockTokens tokens as requests actually grow, admission charges
+ * only current occupancy, and KV-pressure preempts the youngest
+ * running request for recompute — its restart prefill (prompt +
+ * generated tokens) is re-priced through the accelerator's prefill
+ * path. Either way peak residency (kvPeakBytes) never exceeds the
+ * budget; the report's preemption/recompute counters and queue-time
+ * percentiles expose what the bound costs. Requests that generate no
+ * tokens (decodeLen == 0) retain no KV and are never charged for any.
  *
  * Requests for different models never share a batch. Under the default
  * strict-FIFO policy a different-model request at the queue head pauses
@@ -51,6 +58,7 @@
 #include <vector>
 
 #include "engine/accelerator.hpp"
+#include "engine/kv_block_manager.hpp"
 #include "engine/scheduler.hpp"
 #include "model/request.hpp"
 
@@ -65,10 +73,26 @@ struct ServingOptions
     SchedulerPolicy policy = SchedulerPolicy::Fifo;
     /**
      * KV-cache capacity in bytes the in-flight requests may hold
-     * (0 = unbounded). A deployment derives it from the accelerator's
+     * (<= 0 = unbounded; the one sentinel shared with the cluster
+     * path's Capabilities::hbmCapacityBytes, whose 0 means unknown).
+     * A deployment derives it from the accelerator's
      * Capabilities::hbmCapacityBytes minus the resident weights.
      */
     double kvCapacityBytes = 0.0;
+    /** KV admission policy (kv_block_manager.hpp). `reserve` is the
+     *  conservative pre-paging rule and the default; `paged` admits
+     *  against current occupancy with preempt-and-recompute. */
+    KvPolicy kvPolicy = KvPolicy::Reserve;
+    /** Tokens per KV block under the paged policy. */
+    std::size_t kvBlockTokens = 16;
+    /** Paged admission's free-space watermark (see KvOptions). */
+    double kvLowWatermark = 0.05;
+    /**
+     * Aging weight of the shortest-prompt scheduler (see
+     * makeScheduler): key cycles credited per cycle waited, bounding
+     * long-prompt starvation. 0 restores pure SJF.
+     */
+    double sjfAgingWeight = 1.0;
     /**
      * Thread cap for the profile-cache warm-up that precedes request
      * costing (parallel::parallelFor semantics: 0 = full global pool,
@@ -83,15 +107,23 @@ struct RequestMetrics
 {
     std::size_t id = 0;
     double arrivalSeconds = 0.0;
-    /** Admission = start of this request's prefill (queue wait ends). */
+    /** Admission = start of this request's first prefill (queue wait
+     *  ends; a preempted request keeps its first admission time). */
     double admissionSeconds = 0.0;
     double firstTokenSeconds = 0.0; ///< End of the first decode step.
     double completionSeconds = 0.0;
     std::size_t decodeTokens = 0;
-    /** KV bytes this request held resident while in flight. */
+    /** KV bytes of the request's largest residency while in flight
+     *  (block-rounded under the paged policy; 0 when decodeTokens
+     *  is 0 — prefill-only requests retain no KV). */
     double kvBytes = 0.0;
+    /** Times this request was preempted for recompute (paged). */
+    std::size_t preemptions = 0;
+    /** Decode tokens this request re-generated after preemptions. */
+    std::size_t recomputedTokens = 0;
     /** Energy attributed to this request, with the shared decode
-     *  weight stream amortized across its batch mates. */
+     *  weight stream amortized across its batch mates (recompute
+     *  prefills included). */
     double joules = 0.0;
 
     double latencySeconds() const
@@ -111,6 +143,7 @@ struct ServingReport
 {
     std::string accelerator;
     std::string scheduler; ///< Admission policy name.
+    std::string kvPolicy;  ///< KV admission policy name.
     /** Per-request metrics, in completion order. */
     std::vector<RequestMetrics> requests;
 
@@ -137,10 +170,20 @@ struct ServingReport
     double meanBatchOccupancy = 0.0; ///< Mean in-flight per iteration.
     std::size_t peakBatch = 0;
 
-    /** Peak in-flight KV residency over the run. */
+    /** Peak in-flight KV residency (block-rounded when paged). */
     double kvPeakBytes = 0.0;
     /** kvPeakBytes / configured capacity (0 when unbounded). */
     double kvUtilization = 0.0;
+
+    /** Paged policy: preempt-and-recompute totals over the run. */
+    std::size_t preemptions = 0;
+    std::size_t recomputedTokens = 0;
+    /** Paged policy: mean block fill (needed/allocated bytes) over
+     *  decode iterations — 1 - internal fragmentation. 0 for reserve
+     *  (no blocks exist). */
+    double kvBlockUtilization = 0.0;
+    /** Paged policy: peak internal fragmentation in bytes. */
+    double kvFragmentationPeakBytes = 0.0;
 
     /** Throughput gain of batching vs serving the trace serially. */
     double batchingSpeedup() const
@@ -156,7 +199,11 @@ class ServingSimulator
     explicit ServingSimulator(const Accelerator &accel,
                               ServingOptions opts = {});
 
-    /** Simulate @p trace to completion. */
+    /**
+     * Simulate @p trace to completion. An empty trace yields a
+     * well-defined zeroed report (names set, every metric 0) rather
+     * than an error — callers filtering traces need no special case.
+     */
     ServingReport simulate(const std::vector<model::Request> &trace) const;
 
   private:

@@ -178,6 +178,10 @@ TEST(Cluster, CapabilitiesScaleWithTp)
     EXPECT_EQ(tp4->capabilities().processors, 8u);
     EXPECT_DOUBLE_EQ(tp4->capabilities().hbmCapacityBytes,
                      4.0 * bare->capabilities().hbmCapacityBytes);
+    // The KV cache shards with the tp degree: per-shard capacity is
+    // 1/N of the advertised fleet HBM.
+    EXPECT_EQ(bare->capabilities().kvShards, 1u);
+    EXPECT_EQ(tp4->capabilities().kvShards, 4u);
     EXPECT_NE(tp4->name(), bare->name());
     EXPECT_FALSE(tp4->configSummary().empty());
 }
