@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "engine/serving.hpp"
 
 namespace mcbp::bench {
 
@@ -221,5 +222,43 @@ class JsonRecords
     std::vector<std::vector<std::pair<std::string, std::string>>>
         records_;
 };
+
+/**
+ * Append the canonical ServingReport field set to the CURRENT record
+ * (callers begin() a record and add their context fields — setting,
+ * sweep point, budget — first). One schema for every bench/example
+ * that archives a serving run, so the CI artifacts of fig20/fig23 and
+ * example_serving all carry the same columns — including the paging
+ * stats (kv_policy, preemptions, recomputed_tokens,
+ * kv_block_utilization, kv_fragmentation_peak_bytes) they print as
+ * text.
+ */
+inline JsonRecords &
+appendServingFields(JsonRecords &json, const engine::ServingReport &r)
+{
+    return json.field("accelerator", r.accelerator)
+        .field("scheduler", r.scheduler)
+        .field("kv_policy", r.kvPolicy)
+        .field("p50_latency_s", r.p50LatencySeconds)
+        .field("p90_latency_s", r.p90LatencySeconds)
+        .field("p99_latency_s", r.p99LatencySeconds)
+        .field("mean_latency_s", r.meanLatencySeconds)
+        .field("p50_queue_s", r.p50QueueSeconds)
+        .field("p90_queue_s", r.p90QueueSeconds)
+        .field("p99_queue_s", r.p99QueueSeconds)
+        .field("tokens_per_s", r.tokensPerSecond)
+        .field("joules_per_token", r.joulesPerToken)
+        .field("mean_batch", r.meanBatchOccupancy)
+        .field("peak_batch", r.peakBatch)
+        .field("kv_peak_bytes", r.kvPeakBytes)
+        .field("kv_utilization", r.kvUtilization)
+        .field("preemptions", static_cast<double>(r.preemptions))
+        .field("recomputed_tokens",
+               static_cast<double>(r.recomputedTokens))
+        .field("kv_block_utilization", r.kvBlockUtilization)
+        .field("kv_fragmentation_peak_bytes",
+               r.kvFragmentationPeakBytes)
+        .field("batching_speedup", r.batchingSpeedup());
+}
 
 } // namespace mcbp::bench

@@ -71,5 +71,37 @@ main()
     std::cout << "\nPaper reference: MCBP reduces computation up to 72.4% "
                  "vs the value-level baseline and memory access 75.8% on "
                  "average.\n";
+
+    // Where the cycles live, per layer segment: the execution plan's
+    // decomposition (Accelerator::plan) sliced into quarters of the
+    // decoder stack — the unit a pipeline stage would own. The decode
+    // weight-stream vs compute split is the quantity pp= (per-stage
+    // HBM) and continuous batching (shared stream) both exploit.
+    bench::banner("Plan decomposition: decode weight stream vs compute "
+                  "per quarter of the stack (Llama7B, Wikilingua)");
+    {
+        const model::LlmConfig &m7 = model::findModel("Llama7B");
+        Table seg({"Accel", "Segment", "Decode cycles",
+                   "Weight stream", "Linear work", "Weight bytes"});
+        for (std::size_t idx : {std::size_t(kMcbp), std::size_t(kSofa)}) {
+            const accel::ExecutionPlan plan =
+                fleet[idx]->plan(m7, task);
+            const std::size_t quarter = plan.modelLayers / 4;
+            for (std::size_t q = 0; q < 4; ++q) {
+                const accel::PlanSegment s =
+                    plan.slice(q * quarter, quarter);
+                seg.addRow({fleet[idx]->name(), s.label,
+                            fmt(s.decode.cycles, 0),
+                            fmt(s.decode.weightStreamCycles, 0),
+                            fmt(s.decode.linearWorkCycles, 0),
+                            fmt(s.decode.traffic.weightBytes, 0)});
+            }
+        }
+        seg.print(std::cout);
+        std::cout << "Homogeneous stacks decompose uniformly — each "
+                     "quarter carries 1/4 of the stream and compute — "
+                     "which is exactly what lets pp= stages divide "
+                     "layer segments instead of rescaling whole runs.\n";
+    }
     return 0;
 }

@@ -117,7 +117,11 @@ main(int argc, char **argv)
                       " GB budget), Llama7B/Dolly trace");
         Table t({"Accel", "tok/s", "p99 latency [s]", "Preemptions",
                  "Recomputed tokens", "Block fill"});
-        for (const char *spec : {"sofa", "spatten", "mcbp"}) {
+        // The pipelined MCBP rides along: same KV budget, but spread
+        // over pp=2 per-stage pools (kvShards), with the serving
+        // engine overlapping decode traversals across the stages.
+        for (const char *spec :
+             {"sofa", "spatten", "mcbp", "mcbp:pp=2,mb=8"}) {
             auto accel = registry.make(spec);
             engine::ServingOptions opts;
             opts.maxBatch = 16;
@@ -130,17 +134,10 @@ main(int argc, char **argv)
                       std::to_string(r.preemptions),
                       std::to_string(r.recomputedTokens),
                       fmtPct(r.kvBlockUtilization)});
-            json.begin()
-                .field("stage", "serving")
-                .field("accelerator", r.accelerator)
-                .field("kv_policy", r.kvPolicy)
-                .field("tokens_per_s", r.tokensPerSecond)
-                .field("p99_latency_s", r.p99LatencySeconds)
-                .field("preemptions",
-                       static_cast<double>(r.preemptions))
-                .field("recomputed_tokens",
-                       static_cast<double>(r.recomputedTokens))
-                .field("kv_block_utilization", r.kvBlockUtilization);
+            // Shared serving schema (bench_util.hpp): the archive
+            // carries the full paging stats for every design.
+            bench::appendServingFields(
+                json.begin().field("stage", "serving"), r);
         }
         t.print(std::cout);
     }

@@ -5,9 +5,10 @@
  * continuous-batching ServingSimulator on three platforms from the
  * registry — the A100 roofline and MCBP standard/aggressive at the
  * paper's 148-processor scale — plus a batching ablation, a
- * tensor-parallel cluster sweep, and a KV-capacity study on MCBP:
- * scheduler policies, then reservation-vs-paged KV admission
- * (preempt-and-recompute) under the same stress bound.
+ * tensor-parallel cluster sweep, a pipeline-parallel sweep (pp= x mb=
+ * micro-batching, including a pp x tp composition), and a KV-capacity
+ * study on MCBP: scheduler policies, then reservation-vs-paged KV
+ * admission (preempt-and-recompute) under the same stress bound.
  *
  * Prints per-request latency percentiles, aggregate tokens/s and
  * J/token, the knobs a serving deployment actually cares about
@@ -39,28 +40,8 @@ report(const engine::ServingReport &r, const std::string &setting,
               fmt(r.kvPeakBytes / 1e9, 2),
               std::to_string(r.preemptions),
               fmtX(r.batchingSpeedup())});
-    json.begin()
-        .field("accelerator", r.accelerator)
-        .field("setting", setting)
-        .field("scheduler", r.scheduler)
-        .field("kv_policy", r.kvPolicy)
-        .field("p50_latency_s", r.p50LatencySeconds)
-        .field("p90_latency_s", r.p90LatencySeconds)
-        .field("p99_latency_s", r.p99LatencySeconds)
-        .field("mean_latency_s", r.meanLatencySeconds)
-        .field("p50_queue_s", r.p50QueueSeconds)
-        .field("p99_queue_s", r.p99QueueSeconds)
-        .field("tokens_per_s", r.tokensPerSecond)
-        .field("joules_per_token", r.joulesPerToken)
-        .field("mean_batch", r.meanBatchOccupancy)
-        .field("peak_batch", r.peakBatch)
-        .field("kv_peak_bytes", r.kvPeakBytes)
-        .field("kv_utilization", r.kvUtilization)
-        .field("preemptions", static_cast<double>(r.preemptions))
-        .field("recomputed_tokens",
-               static_cast<double>(r.recomputedTokens))
-        .field("kv_block_utilization", r.kvBlockUtilization)
-        .field("batching_speedup", r.batchingSpeedup());
+    bench::appendServingFields(json.begin().field("setting", setting),
+                               r);
 }
 
 } // namespace
@@ -118,6 +99,35 @@ main(int argc, char **argv)
         engine::ServingSimulator sim(*cluster, {32});
         report(sim.simulate(trace), "tp=" + std::to_string(tp), t,
                json);
+    }
+
+    // --- Pipeline-parallel sweep ----------------------------------------
+    // pp=N splits the decoder layers across N stages: prefill flows
+    // through the stages in mb= micro-batches (fill/drain bubbles
+    // shrink as mb grows), decode streams each stage's weights from
+    // its own HBM (the shared stream divides by N) while the serving
+    // engine overlaps distinct requests' traversals across stages.
+    // pp composes with tp: each stage can itself be a tensor-parallel
+    // cluster.
+    for (const char *spec :
+         {"mcbp:procs=148,pp=2,mb=8", "mcbp:procs=148,pp=4,mb=1",
+          "mcbp:procs=148,pp=4,mb=8", "mcbp:procs=148,pp=2,tp=2,mb=8"}) {
+        auto pipe = registry.make(spec);
+        engine::ServingSimulator sim(*pipe, {32});
+        const std::string setting =
+            std::string(spec).substr(std::string(spec).find(',') + 1);
+        report(sim.simulate(trace), setting, t, json);
+    }
+    {
+        auto stack = registry.make("mcbp:procs=148,pp=2,tp=2,mb=8");
+        const engine::Capabilities c = stack->capabilities();
+        std::cout << "\npp=2,tp=2 topology: " << c.processors
+                  << " processors, " << c.pipelineStages
+                  << " pipeline stages, " << c.kvShards
+                  << " KV shards (per-shard HBM "
+                  << c.hbmCapacityBytes / 1e9 /
+                         static_cast<double>(c.kvShards)
+                  << " GB)\n";
     }
 
     // --- Memory-bounded serving: KV capacity + scheduler policy ---------

@@ -282,14 +282,21 @@ BaselineAccelerator::simulatePhase(const PhasePlan &plan,
     return out;
 }
 
+ExecutionPlan
+BaselineAccelerator::plan(const model::LlmConfig &model,
+                          const model::Workload &task) const
+{
+    return composePlan(traits_.name, model, task, hw_.clockGhz, 1,
+                       [&](const PhasePlan &p) {
+                           return simulatePhase(p, model);
+                       });
+}
+
 RunMetrics
 BaselineAccelerator::run(const model::LlmConfig &model,
                          const model::Workload &task) const
 {
-    return composeRun(traits_.name, model, task, hw_.clockGhz, 1,
-                      [&](const PhasePlan &plan) {
-                          return simulatePhase(plan, model);
-                      });
+    return plan(model, task).fold();
 }
 
 } // namespace mcbp::accel

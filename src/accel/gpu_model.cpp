@@ -175,4 +175,12 @@ GpuA100Model::run(const model::LlmConfig &model,
     return run(model, task, ws, as);
 }
 
+ExecutionPlan
+GpuA100Model::plan(const model::LlmConfig &model,
+                   const model::Workload &task, const WeightStats &ws,
+                   const AttentionStats &as) const
+{
+    return planFromRun(run(model, task, ws, as), model.layers);
+}
+
 } // namespace mcbp::accel

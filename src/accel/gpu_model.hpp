@@ -17,6 +17,7 @@
  */
 #pragma once
 
+#include "accel/execution_plan.hpp"
 #include "accel/profiles.hpp"
 #include "accel/report.hpp"
 #include "model/llm_config.hpp"
@@ -67,6 +68,17 @@ class GpuA100Model
     /** Convenience overload that profiles internally (alpha 0.6). */
     RunMetrics run(const model::LlmConfig &model,
                    const model::Workload &task) const;
+
+    /**
+     * The execution-plan view (execution_plan.hpp). The roofline
+     * composes whole phases (it does not price layers individually),
+     * so the plan is one uniform full-stack segment; fold() returns
+     * the run bit-for-bit.
+     */
+    ExecutionPlan plan(const model::LlmConfig &model,
+                       const model::Workload &task,
+                       const WeightStats &ws,
+                       const AttentionStats &as) const;
 
   private:
     GpuParams p_;

@@ -286,16 +286,23 @@ McbpAccelerator::simulatePhase(const PhasePlan &plan,
     return out;
 }
 
+ExecutionPlan
+McbpAccelerator::plan(const model::LlmConfig &model,
+                      const model::Workload &task) const
+{
+    const WeightStats &ws = weightStats(model);
+    const AttentionStats &as = attentionStats(model, task);
+    return composePlan(name(), model, task, hw_.clockGhz,
+                       opts_.processors, [&](const PhasePlan &p) {
+                           return simulatePhase(p, model, ws, as);
+                       });
+}
+
 RunMetrics
 McbpAccelerator::run(const model::LlmConfig &model,
                      const model::Workload &task) const
 {
-    const WeightStats &ws = weightStats(model);
-    const AttentionStats &as = attentionStats(model, task);
-    return composeRun(name(), model, task, hw_.clockGhz, opts_.processors,
-                      [&](const PhasePlan &plan) {
-                          return simulatePhase(plan, model, ws, as);
-                      });
+    return plan(model, task).fold();
 }
 
 McbpAccelerator

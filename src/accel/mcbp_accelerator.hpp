@@ -58,7 +58,14 @@ class McbpAccelerator
     /** Display name, e.g. "MCBP", "MCBP(A)", "Baseline". */
     std::string name() const;
 
-    /** Simulate one (model, task) inference run. */
+    /**
+     * Plan one (model, task) inference: phase totals plus the layer
+     * decomposition (execution_plan.hpp). run() folds this plan.
+     */
+    ExecutionPlan plan(const model::LlmConfig &model,
+                       const model::Workload &task) const;
+
+    /** Simulate one (model, task) inference run (= plan().fold()). */
     RunMetrics run(const model::LlmConfig &model,
                    const model::Workload &task) const;
 

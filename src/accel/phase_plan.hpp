@@ -15,6 +15,7 @@
 #include <string>
 #include <utility>
 
+#include "accel/execution_plan.hpp"
 #include "accel/report.hpp"
 #include "model/llm_config.hpp"
 #include "model/workload.hpp"
@@ -48,25 +49,38 @@ double kvSweeps(const sim::McbpConfig &hw, const PhasePlan &plan,
                 double hidden);
 
 /**
- * Compose a full run: simulate prefill, then decode when the task
- * generates tokens. @p simulate maps a PhasePlan to PhaseMetrics.
+ * Compose a full execution plan: simulate prefill, then decode when
+ * the task generates tokens, and publish the result as phase totals
+ * plus one uniform full-stack layer segment (every analytic model
+ * here prices one layer and multiplies, so per-layer cost is uniform
+ * and the single segment is exactly decomposable — see
+ * ExecutionPlan::slice). @p simulate maps a PhasePlan to PhaseMetrics.
  */
 template <typename SimulateFn>
-RunMetrics
-composeRun(std::string acceleratorName, const model::LlmConfig &model,
-           const model::Workload &task, double clockGhz,
-           std::size_t processors, SimulateFn &&simulate)
+ExecutionPlan
+composePlan(std::string acceleratorName, const model::LlmConfig &model,
+            const model::Workload &task, double clockGhz,
+            std::size_t processors, SimulateFn &&simulate)
 {
-    RunMetrics rm;
-    rm.accelerator = std::move(acceleratorName);
-    rm.modelName = model.name;
-    rm.taskName = task.name;
-    rm.clockGhz = clockGhz;
-    rm.processors = processors;
-    rm.prefill = simulate(prefillPlan(task));
+    ExecutionPlan plan;
+    plan.accelerator = std::move(acceleratorName);
+    plan.modelName = model.name;
+    plan.taskName = task.name;
+    plan.clockGhz = clockGhz;
+    plan.processors = processors;
+    plan.modelLayers = model.layers;
+    plan.prefill = simulate(prefillPlan(task));
     if (task.decodeLen > 0)
-        rm.decode = simulate(decodePlan(task));
-    return rm;
+        plan.decode = simulate(decodePlan(task));
+    PlanSegment seg;
+    seg.label = "layers[0," + std::to_string(model.layers) + ")";
+    seg.firstLayer = 0;
+    seg.layerCount = model.layers;
+    seg.prefill = plan.prefill;
+    seg.decode = plan.decode;
+    plan.segments.push_back(std::move(seg));
+    return plan;
 }
+
 
 } // namespace mcbp::accel

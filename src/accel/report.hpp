@@ -104,14 +104,26 @@ struct RunMetrics
     PhaseMetrics prefill;
     PhaseMetrics decode;
     double clockGhz = 1.0;
-    std::size_t processors = 1; ///< Chips ganged for the run.
+    /**
+     * Chips ganged for the run (procs= gangs x tp= shards x pp=
+     * stages). The pinned accounting semantics
+     * (tests/test_pipeline.cpp::ProcessorsSemanticsArePinned):
+     * per-phase `cycles` are the gang's CRITICAL PATH — seconds() is
+     * deliberately processor-count-invariant — while per-phase energy
+     * and traffic are PER-CHIP quantities, so joules() (and every
+     * derived watt/efficiency figure, and the serving engine's
+     * per-request energy attribution) multiplies by this count.
+     * Logical work (denseMacs/executedAdds) stays the gang total, so
+     * gops() needs no processor factor.
+     */
+    std::size_t processors = 1;
 
     double totalCycles() const { return prefill.cycles + decode.cycles; }
 
-    /** Wall time in seconds. */
+    /** Wall time in seconds (processor-count-invariant). */
     double seconds() const;
 
-    /** Total energy in joules. */
+    /** Total energy in joules (per-chip energy x processors). */
     double joules() const;
 
     /** Average power in watts. */

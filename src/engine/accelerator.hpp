@@ -10,6 +10,15 @@
  * classes in src/accel/ onto it without changing their numbers: an
  * adapter's run() is bit-identical to a direct call on the wrapped
  * class (tests/test_engine.cpp asserts this).
+ *
+ * The costing contract is two-level (execution_plan.hpp): plan() is
+ * the single virtual costing source, returning the phase totals plus
+ * the per-layer-segment decomposition; run() is a non-virtual
+ * compatibility shim that folds the plan (a verbatim copy of the
+ * totals, hence bit-identical to the pre-plan API). Composed
+ * topologies build on the decomposition: ClusterAccelerator rescales
+ * the plan's phases to tensor-parallel shards, PipelineAccelerator
+ * splits its layer segments across pp= stages.
  */
 #pragma once
 
@@ -17,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "accel/execution_plan.hpp"
 #include "accel/profile_cache.hpp"
 #include "accel/report.hpp"
 #include "model/llm_config.hpp"
@@ -42,14 +52,24 @@ struct Capabilities
      *  Serving admission derives its KV budget from this. */
     double hbmCapacityBytes = 0.0;
     /**
-     * Tensor-parallel shards the KV cache splits across
-     * (ClusterAccelerator sets its tp degree; 1 for a bare chip).
-     * Each shard holds 1/kvShards of every token's KV — the head
-     * split — so per-shard KV capacity is hbmCapacityBytes/kvShards
-     * and the aggregate block ledger the serving engine keeps is
-     * exactly kvShards symmetric per-shard copies.
+     * Shards the KV cache splits across: the tensor-parallel head
+     * split (ClusterAccelerator, 1/tp of every token's KV per shard)
+     * times the pipeline layer split (PipelineAccelerator, each stage
+     * stores only its own layers' KV — 1/pp per stage when pp divides
+     * the layer count, which the pipeline requires). Per-shard KV
+     * capacity is hbmCapacityBytes/kvShards, and both splits keep the
+     * shards symmetric, so the aggregate block ledger the serving
+     * engine keeps is exactly kvShards symmetric per-shard copies and
+     * paged serving charges the right per-stage pool.
      */
     std::size_t kvShards = 1;
+    /**
+     * Pipeline stages the layer stack is partitioned across
+     * (PipelineAccelerator sets its pp degree; 1 for an unpipelined
+     * design). The serving engine's decode costing overlaps distinct
+     * requests' traversals across this many stages.
+     */
+    std::size_t pipelineStages = 1;
 };
 
 /** Abstract accelerator: one (model, task) inference run at a time. */
@@ -67,9 +87,27 @@ class Accelerator
     /** Human-readable configuration summary (one or more lines). */
     virtual std::string configSummary() const = 0;
 
-    /** Simulate one (model, task) inference run. */
-    virtual accel::RunMetrics run(const model::LlmConfig &model,
-                                  const model::Workload &task) const = 0;
+    /**
+     * Plan one (model, task) inference: the single costing source.
+     * Returns the phase totals plus the per-layer-segment cost
+     * decomposition (cycles, energy, traffic, weight-stream vs.
+     * compute split) that composed topologies partition.
+     */
+    virtual accel::ExecutionPlan
+    plan(const model::LlmConfig &model,
+         const model::Workload &task) const = 0;
+
+    /**
+     * Simulate one (model, task) inference run. Compatibility shim:
+     * folds plan() (a verbatim copy of its phase totals), so run()
+     * is bit-identical to the pre-plan API by construction —
+     * external callers migrating to plan() lose nothing.
+     */
+    accel::RunMetrics
+    run(const model::LlmConfig &model, const model::Workload &task) const
+    {
+        return plan(model, task).fold();
+    }
 
     /**
      * Append the measured profiles a run(model, task) would demand to

@@ -47,11 +47,11 @@ McbpAdapter::configSummary() const
     return os.str();
 }
 
-accel::RunMetrics
-McbpAdapter::run(const model::LlmConfig &model,
-                 const model::Workload &task) const
+accel::ExecutionPlan
+McbpAdapter::plan(const model::LlmConfig &model,
+                  const model::Workload &task) const
 {
-    return impl_.run(model, task);
+    return impl_.plan(model, task);
 }
 
 void
@@ -106,12 +106,12 @@ BaselineAdapter::traitsFor(const model::LlmConfig &model,
     return maker_(*profiles_, model, task);
 }
 
-accel::RunMetrics
-BaselineAdapter::run(const model::LlmConfig &model,
-                     const model::Workload &task) const
+accel::ExecutionPlan
+BaselineAdapter::plan(const model::LlmConfig &model,
+                      const model::Workload &task) const
 {
     return accel::BaselineAccelerator(traitsFor(model, task), hw_)
-        .run(model, task);
+        .plan(model, task);
 }
 
 void
@@ -174,15 +174,15 @@ GpuAdapter::configSummary() const
     return os.str();
 }
 
-accel::RunMetrics
-GpuAdapter::run(const model::LlmConfig &model,
-                const model::Workload &task) const
+accel::ExecutionPlan
+GpuAdapter::plan(const model::LlmConfig &model,
+                 const model::Workload &task) const
 {
     const accel::WeightStats &ws =
         profiles_->weights(model, quant::BitWidth::Int8, seed_);
     const accel::AttentionStats &as =
         profiles_->attention(model, task, alpha_, seed_);
-    return impl_.run(model, task, ws, as);
+    return impl_.plan(model, task, ws, as);
 }
 
 void

@@ -32,8 +32,8 @@ class McbpAdapter : public Accelerator
     std::string name() const override { return impl_.name(); }
     Capabilities capabilities() const override;
     std::string configSummary() const override;
-    accel::RunMetrics run(const model::LlmConfig &model,
-                          const model::Workload &task) const override;
+    accel::ExecutionPlan plan(const model::LlmConfig &model,
+                              const model::Workload &task) const override;
     void profileRequests(
         const model::LlmConfig &model, const model::Workload &task,
         std::vector<accel::ProfileRequest> &out) const override;
@@ -86,8 +86,8 @@ class BaselineAdapter : public Accelerator
     std::string name() const override { return name_; }
     Capabilities capabilities() const override { return caps_; }
     std::string configSummary() const override;
-    accel::RunMetrics run(const model::LlmConfig &model,
-                          const model::Workload &task) const override;
+    accel::ExecutionPlan plan(const model::LlmConfig &model,
+                              const model::Workload &task) const override;
     void profileRequests(
         const model::LlmConfig &model, const model::Workload &task,
         std::vector<accel::ProfileRequest> &out) const override;
@@ -120,8 +120,8 @@ class GpuAdapter : public Accelerator
     std::string name() const override { return impl_.name(); }
     Capabilities capabilities() const override;
     std::string configSummary() const override;
-    accel::RunMetrics run(const model::LlmConfig &model,
-                          const model::Workload &task) const override;
+    accel::ExecutionPlan plan(const model::LlmConfig &model,
+                              const model::Workload &task) const override;
     void profileRequests(
         const model::LlmConfig &model, const model::Workload &task,
         std::vector<accel::ProfileRequest> &out) const override;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "engine/pipeline.hpp"
 
 namespace mcbp::engine {
 
@@ -18,11 +19,19 @@ ClusterAccelerator::ClusterAccelerator(std::unique_ptr<Accelerator> chip,
     // A nested cluster's all-reduce serialization is not divisible by
     // the outer degree, which shardPhase's 1/N rescale would wrongly
     // assume; hierarchical fabrics are a ROADMAP item. Flatten the
-    // degrees into one tp= instead.
+    // degrees into one tp= instead. (Pipeline-over-cluster IS modeled
+    // — stage partitioning divides layer segments, not finished runs
+    // — but only in that order: build PipelineAccelerator(Cluster),
+    // never Cluster(Pipeline), whose hop floors a 1/N rescale would
+    // likewise corrupt.)
     fatalIf(dynamic_cast<const ClusterAccelerator *>(chip_.get()) !=
                 nullptr,
             "nested cluster composition is not modeled; use a single "
             "tp= degree");
+    fatalIf(dynamic_cast<const PipelineAccelerator *>(chip_.get()) !=
+                nullptr,
+            "a cluster cannot shard a pipeline; compose the other way "
+            "around (pp= stages of tp= clusters)");
 }
 
 std::string
@@ -71,13 +80,16 @@ ClusterAccelerator::configSummary() const
  * all-reduces per layer per step on the critical path and per chip in
  * energy.
  *
+ * @param layerSpan decoder layers the sharded span covers (the whole
+ *        stack for phase totals, a segment's count for plan segments)
+ *        — each layer pays its own two all-reduces.
  * @param phaseTokens tokens whose activations one all-reduce carries
  *        (prompt x batch for prefill, batch for one decode step),
  *        already divided by the wrapped gang's data-parallel share.
  */
 accel::PhaseMetrics
 ClusterAccelerator::shardPhase(const accel::PhaseMetrics &phase,
-                               const model::LlmConfig &model,
+                               double hidden, double layerSpan,
                                double phaseTokens, double steps,
                                double gangProcessors,
                                double clockGhz) const
@@ -97,10 +109,9 @@ ClusterAccelerator::shardPhase(const accel::PhaseMetrics &phase,
     // One all-reduce carries the layer's activation vector for the
     // tokens this gang member processes in one step.
     const double bytes_per_collective =
-        phaseTokens * static_cast<double>(model.hidden) *
-        opts_.interconnect.bytesPerActivation / gangProcessors;
-    const double collectives =
-        2.0 * static_cast<double>(model.layers) * steps;
+        phaseTokens * hidden * opts_.interconnect.bytesPerActivation /
+        gangProcessors;
+    const double collectives = 2.0 * layerSpan * steps;
     const sim::InterconnectCost per_collective =
         fabric.allReduce(bytes_per_collective, opts_.tensorParallel);
     const double ic_cycles = per_collective.cycles() * collectives;
@@ -145,32 +156,51 @@ ClusterAccelerator::shardPhase(const accel::PhaseMetrics &phase,
     return out;
 }
 
-accel::RunMetrics
-ClusterAccelerator::run(const model::LlmConfig &model,
-                        const model::Workload &task) const
+accel::ExecutionPlan
+ClusterAccelerator::plan(const model::LlmConfig &model,
+                         const model::Workload &task) const
 {
     fatalIf(model.heads % opts_.tensorParallel != 0,
             "tensor-parallel degree " +
                 std::to_string(opts_.tensorParallel) +
                 " must divide " + model.name + "'s " +
                 std::to_string(model.heads) + " attention heads");
-    accel::RunMetrics inner = chip_->run(model, task);
+    accel::ExecutionPlan inner = chip_->plan(model, task);
     if (opts_.tensorParallel == 1)
         return inner; // identity: bit-for-bit the bare chip.
 
     const double gang = static_cast<double>(inner.processors);
-    accel::RunMetrics out = inner;
+    const double hidden = static_cast<double>(model.hidden);
+    const double prefill_tokens =
+        static_cast<double>(task.promptLen * task.batch);
+    const double decode_tokens = static_cast<double>(task.batch);
+    const double steps = static_cast<double>(task.decodeLen);
+
+    accel::ExecutionPlan out = inner;
     out.accelerator = name();
     out.processors = inner.processors * opts_.tensorParallel;
-    out.prefill = shardPhase(
-        inner.prefill, model,
-        static_cast<double>(task.promptLen * task.batch), 1.0, gang,
-        inner.clockGhz);
+    out.prefill =
+        shardPhase(inner.prefill, hidden,
+                   static_cast<double>(model.layers), prefill_tokens,
+                   1.0, gang, inner.clockGhz);
     if (task.decodeLen > 0)
-        out.decode = shardPhase(inner.decode, model,
-                                static_cast<double>(task.batch),
-                                static_cast<double>(task.decodeLen),
-                                gang, inner.clockGhz);
+        out.decode = shardPhase(inner.decode, hidden,
+                                static_cast<double>(model.layers),
+                                decode_tokens, steps, gang,
+                                inner.clockGhz);
+    // Shard each layer segment the same way, each span paying the
+    // collectives of its own layers; a single full-stack segment
+    // shards to exactly the totals above.
+    for (accel::PlanSegment &seg : out.segments) {
+        const double span = static_cast<double>(seg.layerCount);
+        seg.prefill = shardPhase(seg.prefill, hidden, span,
+                                 prefill_tokens, 1.0, gang,
+                                 inner.clockGhz);
+        if (task.decodeLen > 0)
+            seg.decode =
+                shardPhase(seg.decode, hidden, span, decode_tokens,
+                           steps, gang, inner.clockGhz);
+    }
     return out;
 }
 

@@ -15,9 +15,13 @@
  * chip in energy (EnergyBreakdown::interconnectPj) — so a tp=N run is
  * faster than one chip but never cheaper than the interconnect floor.
  *
- * tp=1 is the identity: run() returns the wrapped chip's RunMetrics
- * verbatim, so a tp=1 cluster is bit-identical to the bare adapter
- * (tests/test_cluster.cpp asserts this down to the serving report).
+ * tp=1 is the identity: plan() returns the wrapped chip's plan
+ * verbatim (and run() its fold), so a tp=1 cluster is bit-identical
+ * to the bare adapter (tests/test_cluster.cpp asserts this down to
+ * the serving report). Sharding rescales the plan's phase totals AND
+ * each layer segment, so a sharded plan still slices exactly — which
+ * is how a PipelineAccelerator wraps a cluster (pp= over tp=); the
+ * reverse nesting is rejected in the constructor.
  *
  * KV capacity scales with the fleet: capabilities() advertises N x
  * the chip's HBM and sets Capabilities::kvShards = N — each shard
@@ -53,8 +57,14 @@ class ClusterAccelerator : public Accelerator
     std::string name() const override;
     Capabilities capabilities() const override;
     std::string configSummary() const override;
-    accel::RunMetrics run(const model::LlmConfig &model,
-                          const model::Workload &task) const override;
+    /**
+     * Shard the chip's plan: phase totals and every layer segment are
+     * rescaled to the per-chip tensor-parallel share, each span
+     * charged the all-reduces of its own layers. tp=1 returns the
+     * chip's plan verbatim (bit-identical).
+     */
+    accel::ExecutionPlan plan(const model::LlmConfig &model,
+                              const model::Workload &task) const override;
     /** Sharding changes no profile keys: forward the chip's needs. */
     void
     profileRequests(const model::LlmConfig &model,
@@ -73,7 +83,7 @@ class ClusterAccelerator : public Accelerator
 
   private:
     accel::PhaseMetrics shardPhase(const accel::PhaseMetrics &phase,
-                                   const model::LlmConfig &model,
+                                   double hidden, double layerSpan,
                                    double phaseTokens, double steps,
                                    double gangProcessors,
                                    double clockGhz) const;

@@ -288,6 +288,8 @@ EventCore::run(std::vector<CostedRequest> &requests) const
         double other_cycles = 0.0;
         double fixed_cycles = 0.0;
         double weight_joules = 0.0;
+        double linear_max = 0.0;
+        double other_max = 0.0;
         for (CostedRequest *c : active) {
             weight_cycles =
                 std::max(weight_cycles, c->weightCyclesPerToken);
@@ -295,18 +297,32 @@ EventCore::run(std::vector<CostedRequest> &requests) const
                 std::max(weight_joules, c->weightJoulesPerToken);
             linear_cycles += c->linearCyclesPerToken;
             other_cycles += c->otherCyclesPerToken;
+            linear_max = std::max(linear_max, c->linearCyclesPerToken);
+            other_max = std::max(other_max, c->otherCyclesPerToken);
             // Hop-latency floor: every request's collective is the
             // same collective, so the batch pays it once.
             fixed_cycles =
                 std::max(fixed_cycles, c->fixedCyclesPerToken);
         }
+        // Stage-aware costing: on a pipeline, distinct requests'
+        // traversals overlap across the stages, so the batch's summed
+        // work drains at the bottleneck stage (sum/stages) — but a
+        // single request can never finish faster than its own full
+        // traversal (the max). stages=1 reduces to the plain sum
+        // bit-for-bit (sum/1 == sum, and sum >= each element).
+        const double stages = static_cast<double>(
+            std::max<std::size_t>(1, active.front()->stages));
+        const double linear_batch =
+            std::max(linear_cycles / stages, linear_max);
+        const double other_batch =
+            std::max(other_cycles / stages, other_max);
         // Everyone in the batch runs on the same accelerator, so the
         // composition rule is uniform across the active set.
         const double linear_segment = accel::composedLinearCycles(
-            weight_cycles, linear_cycles,
+            weight_cycles, linear_batch,
             active.front()->memorySerialized);
         const double iter_cycles =
-            linear_segment + fixed_cycles + other_cycles;
+            linear_segment + fixed_cycles + other_batch;
         clock += iter_cycles;
         stats.busyCycles += iter_cycles;
         stats.occupancySum += static_cast<double>(active.size());

@@ -66,6 +66,15 @@ struct CostedRequest
     /** Composition rule of the wrapped model's linear segment
      *  (see PhaseMetrics::memorySerialized). */
     bool memorySerialized = false;
+    /**
+     * Pipeline stages of the serving accelerator
+     * (Capabilities::pipelineStages; 1 = unpipelined). Distinct
+     * requests' decode traversals overlap across stages, so a batch's
+     * summed linear/attention work drains at the bottleneck stage —
+     * sum/stages — but never faster than one full traversal (the max
+     * over the batch). stages=1 reduces to the plain sum.
+     */
+    std::size_t stages = 1;
     /** Energy split mirroring the cycle split, so the scheduler can
      *  amortize the shared weight stream in joules too. */
     double weightJoulesPerToken = 0.0;

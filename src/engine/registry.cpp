@@ -10,6 +10,7 @@
 #include "common/logging.hpp"
 #include "engine/adapters.hpp"
 #include "engine/cluster.hpp"
+#include "engine/pipeline.hpp"
 
 namespace mcbp::engine {
 
@@ -93,13 +94,39 @@ toCount(const std::string &key, const std::string &value)
     return static_cast<std::size_t>(v);
 }
 
-/** Consume recognized keys; whatever remains is a user error. */
-void
-rejectUnknown(const ParsedSpec &p)
+/** Topology keys every design accepts (consumed before dispatch). */
+const std::vector<std::string> &
+topologyKeys()
 {
-    if (!p.options.empty())
-        fatal("unknown option '" + p.options.begin()->first +
-              "' for accelerator '" + p.name + "'");
+    static const std::vector<std::string> keys = {
+        "tp", "pp", "mb", "linkgbs", "linkpj", "hops"};
+    return keys;
+}
+
+/**
+ * Consume recognized keys; whatever remains is a user error. ALL
+ * leftover keys are reported in one message, together with the keys
+ * this design does accept (its own plus the topology keys), so a
+ * multi-typo spec is fixed in one round trip.
+ */
+void
+rejectUnknown(const ParsedSpec &p, std::vector<std::string> accepted)
+{
+    if (p.options.empty())
+        return;
+    for (const std::string &key : topologyKeys())
+        accepted.push_back(key);
+    std::sort(accepted.begin(), accepted.end());
+
+    std::string unknown;
+    for (const auto &kv : p.options)
+        unknown += (unknown.empty() ? "'" : ", '") + kv.first + "'";
+    std::string known;
+    for (const std::string &key : accepted)
+        known += (known.empty() ? "" : ", ") + key;
+    fatal("unknown option" + std::string(p.options.size() > 1 ? "s " : " ") +
+          unknown + " for accelerator '" + p.name +
+          "'; accepted keys: " + known);
 }
 
 Capabilities
@@ -186,9 +213,13 @@ Registry::make(const std::string &spec) const
 {
     ParsedSpec p = parseSpec(spec);
 
-    // Cluster options apply to every design: `tp=N` shards the chip
-    // N-way (tensor parallel) behind a ClusterAccelerator; the link
-    // knobs refine its interconnect and therefore require tp=.
+    // Topology options apply to every design: `tp=N` shards the chip
+    // N-way (tensor parallel) behind a ClusterAccelerator, `pp=N`
+    // splits the layers across N stages behind a PipelineAccelerator
+    // over the cluster (stage partitioning divides layer segments, so
+    // the two compose), `mb=` micro-batches the pipeline's prefill,
+    // and the link knobs refine the shared fabric — they require an
+    // actual fabric (tp >= 2 or pp >= 2).
     const bool clustered = p.options.count("tp") != 0;
     ClusterOptions cluster;
     if (clustered) {
@@ -197,7 +228,33 @@ Registry::make(const std::string &spec) const
         fatalIf(cluster.tensorParallel == 0,
                 "tp must be >= 1 in spec '" + spec + "'");
     }
-    if (clustered && cluster.tensorParallel > 1) {
+    const bool pipelined = p.options.count("pp") != 0;
+    PipelineOptions pipe;
+    if (pipelined) {
+        pipe.pipelineParallel = toCount("pp", p.options.at("pp"));
+        p.options.erase("pp");
+        fatalIf(pipe.pipelineParallel == 0,
+                "pp must be >= 1 in spec '" + spec + "'");
+    }
+    if (p.options.count("mb") != 0) {
+        // Micro-batching exists only inside a stage pipeline; at
+        // pp<=1 the knob would be a silent no-op, so reject it by
+        // presence (like the link knobs below).
+        fatalIf(!pipelined || pipe.pipelineParallel <= 1,
+                "option 'mb" +
+                    std::string(pipelined
+                                    ? "' has no effect at pp=1 in spec '"
+                                    : "' requires pp= in spec '") +
+                    spec + "'");
+        pipe.microBatches = toCount("mb", p.options.at("mb"));
+        p.options.erase("mb");
+        fatalIf(pipe.microBatches == 0,
+                "mb must be >= 1 in spec '" + spec + "'");
+    }
+    const bool has_fabric =
+        (clustered && cluster.tensorParallel > 1) ||
+        (pipelined && pipe.pipelineParallel > 1);
+    if (has_fabric) {
         auto takeLink = [&p](const char *key, double fallback,
                              double min) {
             auto it = p.options.find(key);
@@ -212,30 +269,35 @@ Registry::make(const std::string &spec) const
             return v;
         };
         // Only the bandwidth is a divisor; zero link energy or hop
-        // latency are meaningful ideal-fabric points.
-        cluster.interconnect.linkGBs =
-            takeLink("linkgbs", cluster.interconnect.linkGBs, 1e-12);
-        cluster.interconnect.pJPerBit =
-            takeLink("linkpj", cluster.interconnect.pJPerBit, 0.0);
-        cluster.interconnect.hopCycles =
-            takeLink("hops", cluster.interconnect.hopCycles, 0.0);
+        // latency are meaningful ideal-fabric points. One link
+        // technology serves both fabrics: the tp= all-reduce ring and
+        // the pp= stage-boundary links.
+        sim::InterconnectConfig link;
+        link.linkGBs = takeLink("linkgbs", link.linkGBs, 1e-12);
+        link.pJPerBit = takeLink("linkpj", link.pJPerBit, 0.0);
+        link.hopCycles = takeLink("hops", link.hopCycles, 0.0);
+        cluster.interconnect = link;
+        pipe.interconnect = link;
     } else {
         // Without a multi-chip fabric, link overrides would be silent
-        // no-ops (tp=1 never touches it); reject them by presence.
+        // no-ops (tp=1/pp=1 never touch it); reject them by presence.
         for (const char *key : {"linkgbs", "linkpj", "hops"})
             fatalIf(p.options.count(key) != 0,
                     "option '" + std::string(key) +
-                        (clustered
-                             ? "' has no effect at tp=1 in spec '"
-                             : "' requires tp= in spec '") +
+                        (clustered || pipelined
+                             ? "' has no effect at tp=1/pp=1 in spec '"
+                             : "' requires tp= or pp= in spec '") +
                         spec + "'");
     }
     auto finish = [&](std::unique_ptr<Accelerator> chip)
         -> std::unique_ptr<Accelerator> {
-        if (!clustered)
-            return chip;
-        return std::make_unique<ClusterAccelerator>(std::move(chip),
-                                                    cluster);
+        if (clustered)
+            chip = std::make_unique<ClusterAccelerator>(std::move(chip),
+                                                        cluster);
+        if (pipelined)
+            chip = std::make_unique<PipelineAccelerator>(std::move(chip),
+                                                         pipe);
+        return chip;
     };
 
     auto takeDouble = [&p](const char *key, double fallback) {
@@ -264,11 +326,13 @@ Registry::make(const std::string &spec) const
     };
 
     if (p.name == "mcbp" || p.name == "mcbp-standard" ||
-        p.name == "mcbp-aggressive" || p.name == "mcbp-baseline") {
+        p.name == "mcbp-s" || p.name == "mcbp-aggressive" ||
+        p.name == "mcbp-a" || p.name == "mcbp-baseline") {
         // Start from the canonical factory presets so the registry can
         // never drift from makeMcbp{Standard,Aggressive,Baseline}().
         accel::McbpOptions o =
-            (p.name == "mcbp-aggressive"   ? accel::makeMcbpAggressive()
+            (p.name == "mcbp-aggressive" || p.name == "mcbp-a"
+                 ? accel::makeMcbpAggressive()
              : p.name == "mcbp-baseline" ? accel::makeMcbpBaseline()
                                          : accel::makeMcbpStandard())
                 .options();
@@ -278,7 +342,8 @@ Registry::make(const std::string &spec) const
         o.enableBrcr = takeBool("brcr", o.enableBrcr);
         o.enableBstc = takeBool("bstc", o.enableBstc);
         o.enableBgpp = takeBool("bgpp", o.enableBgpp);
-        rejectUnknown(p);
+        rejectUnknown(p, {"alpha", "seed", "procs", "brcr", "bstc",
+                          "bgpp"});
         return finish(std::make_unique<McbpAdapter>(
             accel::McbpAccelerator(hw_, o, profiles_)));
     }
@@ -292,7 +357,7 @@ Registry::make(const std::string &spec) const
         sw.bgpp = takeBool("bgpp", sw.bgpp);
         const double alpha = takeDouble("alpha", 0.6);
         const std::uint64_t seed = takeCount("seed", 1);
-        rejectUnknown(p);
+        rejectUnknown(p, {"brcr", "bstc", "bgpp", "alpha", "seed"});
         return finish(std::make_unique<GpuAdapter>(
             accel::GpuParams{}, sw, profiles_, alpha, seed));
     }
@@ -303,11 +368,17 @@ Registry::make(const std::string &spec) const
         // no-op.
         double alpha = 0.6;
         std::uint64_t seed = 1;
-        if (def->fromAttention != nullptr)
+        std::vector<std::string> accepted;
+        if (def->fromAttention != nullptr) {
             alpha = takeDouble("alpha", alpha);
-        if (def->fromAttention != nullptr || def->fromWeights != nullptr)
+            accepted.push_back("alpha");
+        }
+        if (def->fromAttention != nullptr ||
+            def->fromWeights != nullptr) {
             seed = takeCount("seed", 1);
-        rejectUnknown(p);
+            accepted.push_back("seed");
+        }
+        rejectUnknown(p, std::move(accepted));
 
         BaselineAdapter::TraitsMaker maker;
         BaselineAdapter::ProfileNeeds needs;

@@ -13,18 +13,30 @@
  *   bitwave | fusekna | cambricon-c         the SOTA baselines
  *   a100                     GPU roofline; a100-sw = all algorithms on
  *
- * Options (silently ignored keys are an error):
+ * Options (silently ignored keys are an error; every unknown key of a
+ * spec is collected into ONE message alongside the design's accepted
+ * keys):
  *   procs=N                  ganged processors (MCBP only)
  *   alpha=X                  BGPP alpha_r / profiling alpha
  *   seed=N                   profiling seed
  *   brcr|bstc|bgpp=0|1       technique toggles (MCBP and A100)
  *   tp=N                     shard across N tensor-parallel chips
  *                            (any design; builds a ClusterAccelerator)
- *   linkgbs|linkpj|hops=X    cluster interconnect: link GB/s, pJ/bit,
- *                            per-hop cycles (require tp=)
+ *   pp=N                     split the decoder layers across N
+ *                            pipeline stages (any design; builds a
+ *                            PipelineAccelerator over the tp= cluster
+ *                            when both are given; N must divide the
+ *                            model's layer count)
+ *   mb=N                     prefill micro-batches per batch
+ *                            (requires pp >= 2)
+ *   linkgbs|linkpj|hops=X    fabric knobs: link GB/s, pJ/bit, per-hop
+ *                            cycles — shared by the tp= all-reduce
+ *                            ring and the pp= boundary links (require
+ *                            tp >= 2 or pp >= 2)
  *
  * Examples: "mcbp:procs=148", "mcbp:bgpp=0", "a100:bstc=1,bgpp=1",
- *           "mcbp:procs=148,tp=4", "a100:tp=8,linkgbs=600".
+ *           "mcbp:procs=148,tp=4", "a100:tp=8,linkgbs=600",
+ *           "mcbp-s:pp=4,tp=2,mb=8,linkgbs=600".
  *
  * All accelerators built by one Registry share one thread-safe
  * accel::ProfileCache, so a fleet profiles each workload exactly once.

@@ -77,6 +77,10 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
     kv.lowWatermark = opts_.kvLowWatermark;
 
     // ---- Cost each request with a batch-1 run ---------------------------
+    // Pipeline stage count for the decode iteration's stage-aware
+    // overlap (one accelerator serves the whole trace).
+    const std::size_t stages =
+        std::max<std::size_t>(1, accel_->capabilities().pipelineStages);
     double clock_ghz = 0.0;
     std::vector<CostedRequest> costs;
     costs.reserve(trace.size());
@@ -89,6 +93,7 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
 
         CostedRequest c;
         c.req = &req;
+        c.stages = stages;
         c.arrivalCycles = req.arrivalSeconds * clock_ghz * 1e9;
         c.prefillCycles = rm.prefill.cycles;
         // Largest-residency footprint, quantized by the KV policy:

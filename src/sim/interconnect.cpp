@@ -28,4 +28,16 @@ Interconnect::allReduce(double bytes, std::size_t chips) const
     return cost;
 }
 
+InterconnectCost
+Interconnect::send(double bytes) const
+{
+    InterconnectCost cost;
+    if (bytes <= 0.0)
+        return cost;
+    cost.bandwidthCycles = bytes / bytesPerCycle_;
+    cost.latencyCycles = cfg_.hopCycles;
+    cost.energyPj = bytes * 8.0 * cfg_.pJPerBit;
+    return cost;
+}
+
 } // namespace mcbp::sim

@@ -63,6 +63,14 @@ class Interconnect
      */
     InterconnectCost allReduce(double bytes, std::size_t chips) const;
 
+    /**
+     * Point-to-point send of @p bytes over one link (a pipeline
+     * stage handing its boundary activations to the next stage):
+     * serialization of the bytes, one hop of latency, and the link
+     * energy for the moved bits — all charged to the sending chip.
+     */
+    InterconnectCost send(double bytes) const;
+
     /** Link bandwidth expressed in bytes per core cycle. */
     double bytesPerCycle() const { return bytesPerCycle_; }
 
