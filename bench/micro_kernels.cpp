@@ -15,7 +15,9 @@
 #include "brcr/cam.hpp"
 #include "brcr/enumeration.hpp"
 #include "bstc/codec.hpp"
+#include "common/aligned_buffer.hpp"
 #include "common/rng.hpp"
+#include "common/simd/simd.hpp"
 #include "model/synthetic.hpp"
 #include "quant/gemm.hpp"
 #include "reference_kernels.hpp"
@@ -228,7 +230,7 @@ BM_BstcEncode(benchmark::State &state)
     for (auto _ : state) {
         bstc::BitWriter w;
         bstc::encodePlane(sm.magnitude[5], 4, w);
-        benchmark::DoNotOptimize(w.bytes().data());
+        benchmark::DoNotOptimize(w.words());
     }
     state.SetItemsProcessed(state.iterations() * 64 * 2048);
 }
@@ -243,7 +245,7 @@ BM_BstcDecode(benchmark::State &state)
     bstc::BitWriter w;
     bstc::encodePlane(sm.magnitude[5], 4, w);
     for (auto _ : state) {
-        bstc::BitReader r(w.bytes(), w.bitCount());
+        bstc::BitReader r(w);
         auto plane = bstc::decodePlane(r, 4, 64, 2048);
         benchmark::DoNotOptimize(&plane);
     }
@@ -269,6 +271,125 @@ BM_CamSearchSweep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 15);
 }
 BENCHMARK(BM_CamSearchSweep);
+
+// ---- SIMD kernel tiers -----------------------------------------------------
+//
+// Each bench runs once per compiled-and-runnable dispatch tier
+// (Arg: 0 = scalar, 1 = AVX2, 2 = AVX-512); unavailable tiers skip.
+// Composite paths (factorizeGroup) pin the active tier with forceTier.
+
+bool
+skipIfUnavailable(benchmark::State &state, simd::Tier tier)
+{
+    if (tier <= simd::availableTier())
+        return false;
+    state.SkipWithError("tier not available on this host/compiler");
+    return true;
+}
+
+common::AlignedBuffer<std::uint64_t>
+makeWordBuffer(std::size_t n)
+{
+    Rng rng(77);
+    common::AlignedBuffer<std::uint64_t> buf(n);
+    for (std::size_t i = 0; i < n; ++i)
+        buf[i] = rng.next();
+    return buf;
+}
+
+/** Bulk popcount scan (density/sparsity statistics) per tier. */
+void
+BM_SimdPopcountWords(benchmark::State &state)
+{
+    const auto tier = static_cast<simd::Tier>(state.range(0));
+    if (skipIfUnavailable(state, tier))
+        return;
+    const std::size_t n = 1 << 15; // 256 KiB: larger than L1, fits L2.
+    const auto words = makeWordBuffer(n);
+    const simd::Kernels &k = simd::kernelsFor(tier);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(k.popcountWords(words.data(), n));
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        state.iterations() * n * sizeof(std::uint64_t)));
+    state.SetLabel(simd::tierName(tier));
+}
+BENCHMARK(BM_SimdPopcountWords)->Arg(0)->Arg(1)->Arg(2);
+
+/** Non-zero-pattern bitmap build (BRCR zero-skip front end) per tier. */
+void
+BM_SimdNonzeroMask32(benchmark::State &state)
+{
+    const auto tier = static_cast<simd::Tier>(state.range(0));
+    if (skipIfUnavailable(state, tier))
+        return;
+    Rng rng(78);
+    const std::size_t n = 1 << 16;
+    std::vector<std::uint32_t> v(n);
+    for (auto &p : v) // ~85% zero, like a sparse magnitude plane
+        p = rng.uniformInt(100) < 85
+                ? 0u
+                : static_cast<std::uint32_t>(1 + rng.uniformInt(15));
+    std::vector<std::uint64_t> mask((n + 63) / 64);
+    const simd::Kernels &k = simd::kernelsFor(tier);
+    for (auto _ : state) {
+        k.nonzeroMask32(v.data(), n, mask.data());
+        benchmark::DoNotOptimize(mask.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * n));
+    state.SetLabel(simd::tierName(tier));
+}
+BENCHMARK(BM_SimdNonzeroMask32)->Arg(0)->Arg(1)->Arg(2);
+
+/** Full-column pattern dedup (equality compares) per tier. */
+void
+BM_SimdCompareMerge(benchmark::State &state)
+{
+    const auto tier = static_cast<simd::Tier>(state.range(0));
+    if (skipIfUnavailable(state, tier))
+        return;
+    quant::QuantizedWeight qw = makeWeights(64, 2048);
+    bitslice::SignMagnitude sm =
+        bitslice::decompose(qw.values, quant::BitWidth::Int8);
+    const bitslice::BitPlane &plane = sm.magnitude[5];
+    simd::forceTier(tier);
+    for (auto _ : state) {
+        auto cost = bitslice::compareMergeStrategies(plane, 4);
+        benchmark::DoNotOptimize(&cost);
+    }
+    simd::resetTier();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * 64 * 2048));
+    state.SetLabel(simd::tierName(tier));
+}
+BENCHMARK(BM_SimdCompareMerge)->Arg(0)->Arg(1)->Arg(2);
+
+/** BRCR group factorization (mask-walk dedup) per tier. */
+void
+BM_SimdFactorizeGroup(benchmark::State &state)
+{
+    const auto tier = static_cast<simd::Tier>(state.range(0));
+    if (skipIfUnavailable(state, tier))
+        return;
+    quant::QuantizedWeight qw = makeWeights(64, 2048);
+    bitslice::SignMagnitude sm =
+        bitslice::decompose(qw.values, quant::BitWidth::Int8);
+    const bitslice::BitPlane &plane = sm.magnitude[5];
+    brcr::GroupScratch scratch;
+    brcr::GroupFactorization fact;
+    simd::forceTier(tier);
+    for (auto _ : state) {
+        for (std::size_t row0 = 0; row0 < plane.rows(); row0 += 4) {
+            brcr::factorizeGroup(plane, row0, 4, scratch, fact);
+            benchmark::DoNotOptimize(fact.patterns.data());
+        }
+    }
+    simd::resetTier();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * 64 * 2048));
+    state.SetLabel(simd::tierName(tier));
+}
+BENCHMARK(BM_SimdFactorizeGroup)->Arg(0)->Arg(1)->Arg(2);
 
 void
 BM_BgppPredict(benchmark::State &state)

@@ -17,6 +17,13 @@
  *  3. compareMergeStrategies' full-column dedup — the original
  *     per-bit get() key build (reference_kernels.hpp) vs the
  *     word-parallel packed-word walk now in bitslice/sparsity.cpp.
+ *  4. SIMD dispatch tiers — the scalar reference kernels vs the
+ *     CPUID-dispatched tier (common/simd/) on the popcount-scan and
+ *     non-zero-mask kernels. On an AVX2-or-better host the dispatched
+ *     tier must win by >= 2x; on a scalar-only host the gate skips.
+ *     Section 1 doubles as the end-to-end bit-identity check: the
+ *     serial fleet warms under a forced-scalar dispatch table and must
+ *     match the SIMD-dispatched parallel fleet stat-for-stat.
  *
  * `--json <path>` archives the records (bench_util.hpp schema).
  */
@@ -29,8 +36,10 @@
 #include "bitslice/sign_magnitude.hpp"
 #include "bitslice/sparsity.hpp"
 #include "brcr/enumeration.hpp"
+#include "common/aligned_buffer.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/simd/simd.hpp"
 #include "engine/adapters.hpp"
 #include "engine/registry.hpp"
 #include "model/synthetic.hpp"
@@ -129,8 +138,14 @@ main(int argc, char **argv)
     engine::Registry serial_registry, parallel_registry;
     std::vector<std::unique_ptr<engine::Accelerator>> serial_fleet,
         parallel_fleet;
+    // Warm the serial fleet with the dispatch table pinned to the
+    // scalar reference kernels, the parallel one with the CPUID tier:
+    // the bit-identity check below then covers scalar-vs-SIMD as well
+    // as serial-vs-parallel.
+    simd::forceTier(simd::Tier::Scalar);
     const double serial_s = coldWarmSeconds(1, serial_registry,
                                             serial_fleet);
+    simd::resetTier();
     const double parallel_s = coldWarmSeconds(0, parallel_registry,
                                               parallel_fleet);
     const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 1.0;
@@ -227,9 +242,94 @@ main(int argc, char **argv)
         .field("speedup", dedup_speedup)
         .field("counts_match", scalar_adds == word_adds ? 1 : 0);
 
+    // ---- Section 4: SIMD dispatch tiers ---------------------------------
+    const simd::Tier tier = simd::activeTier();
+    bench::banner(std::string("SIMD kernels: scalar vs dispatched (") +
+                  simd::tierName(tier) + ")");
+    const simd::Kernels &scalar_k =
+        simd::kernelsFor(simd::Tier::Scalar);
+    const simd::Kernels &simd_k = simd::kernels();
+
+    constexpr std::size_t kWords = std::size_t{1} << 18; // 2 MiB
+    common::AlignedBuffer<std::uint64_t> words(kWords);
+    Rng wrng(7);
+    for (std::size_t i = 0; i < kWords; ++i)
+        words[i] = wrng.next();
+    constexpr int kKernelIters = 64;
+    std::uint64_t pop_scalar = 0, pop_simd = 0;
+    const double pop_scalar_s = bestOf(3, [&] {
+        pop_scalar = 0;
+        for (int i = 0; i < kKernelIters; ++i)
+            pop_scalar += scalar_k.popcountWords(words.data(), kWords);
+    });
+    const double pop_simd_s = bestOf(3, [&] {
+        pop_simd = 0;
+        for (int i = 0; i < kKernelIters; ++i)
+            pop_simd += simd_k.popcountWords(words.data(), kWords);
+    });
+    const double pop_speedup =
+        pop_simd_s > 0.0 ? pop_scalar_s / pop_simd_s : 1.0;
+    const bool pop_match = pop_scalar == pop_simd;
+
+    constexpr std::size_t kSlots = std::size_t{1} << 20;
+    std::vector<std::uint32_t> slots(kSlots);
+    for (auto &s : slots) // sparse-plane-like: ~85% zero slots
+        s = wrng.uniformInt(100) < 85
+                ? 0u
+                : static_cast<std::uint32_t>(1 + wrng.uniformInt(15));
+    std::vector<std::uint64_t> mask_scalar(kSlots / 64),
+        mask_simd(kSlots / 64);
+    const double mask_scalar_s = bestOf(3, [&] {
+        for (int i = 0; i < kKernelIters; ++i)
+            scalar_k.nonzeroMask32(slots.data(), kSlots,
+                                   mask_scalar.data());
+    });
+    const double mask_simd_s = bestOf(3, [&] {
+        for (int i = 0; i < kKernelIters; ++i)
+            simd_k.nonzeroMask32(slots.data(), kSlots,
+                                 mask_simd.data());
+    });
+    const double mask_speedup =
+        mask_simd_s > 0.0 ? mask_scalar_s / mask_simd_s : 1.0;
+    const bool mask_match = mask_scalar == mask_simd;
+
+    std::printf("  popcountWords   scalar %7.2f ms  %-7s %7.2f ms  "
+                "speedup %5.2fx  (%s)\n",
+                pop_scalar_s * 1e3, simd::tierName(tier),
+                pop_simd_s * 1e3, pop_speedup,
+                pop_match ? "counts match" : "COUNT MISMATCH");
+    std::printf("  nonzeroMask32   scalar %7.2f ms  %-7s %7.2f ms  "
+                "speedup %5.2fx  (%s)\n",
+                mask_scalar_s * 1e3, simd::tierName(tier),
+                mask_simd_s * 1e3, mask_speedup,
+                mask_match ? "masks match" : "MASK MISMATCH");
+
+    // >= 2x is required only when a vector tier actually dispatches;
+    // a scalar-only host skips the speedup gate (identity still binds).
+    const bool vector_tier = tier >= simd::Tier::Avx2;
+    const bool simd_gate =
+        pop_match && mask_match &&
+        (!vector_tier || (pop_speedup >= 2.0 && mask_speedup >= 2.0));
+    if (!vector_tier)
+        std::printf("  speedup gate skipped (scalar-only dispatch)\n");
+    else
+        std::printf("  speedup gate (>= 2x): %s\n",
+                    simd_gate ? "pass" : "FAIL");
+    json.begin()
+        .field("section", "simd_kernels")
+        .field("simd_tier", simd::tierName(tier))
+        .field("popcount_scalar_s", pop_scalar_s / kKernelIters)
+        .field("popcount_simd_s", pop_simd_s / kKernelIters)
+        .field("popcount_speedup", pop_speedup)
+        .field("nonzero_mask_scalar_s", mask_scalar_s / kKernelIters)
+        .field("nonzero_mask_simd_s", mask_simd_s / kKernelIters)
+        .field("nonzero_mask_speedup", mask_speedup)
+        .field("bit_identical", pop_match && mask_match ? 1 : 0)
+        .field("gate_enforced", vector_tier ? 1 : 0);
+
     json.writeIfRequested(argc, argv);
     return identical && distinct_ref == distinct_fast &&
-                   scalar_adds == word_adds
+                   scalar_adds == word_adds && simd_gate
                ? 0
                : 1;
 }

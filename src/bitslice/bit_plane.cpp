@@ -7,28 +7,34 @@
 
 namespace mcbp::bitslice {
 
+namespace {
+
+/** Words per 64-byte line: the row-stride quantum. */
+constexpr std::size_t kLineWords =
+    common::AlignedBuffer<std::uint64_t>::kLineElems;
+
+} // namespace
+
 BitPlane::BitPlane(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), wordsPerRow_((cols + 63) / 64),
-      words_(rows * wordsPerRow_, 0)
+      rowStride_((wordsPerRow_ + kLineWords - 1) / kLineWords *
+                 kLineWords),
+      words_(rows * rowStride_)
 {
 }
 
 std::uint64_t
 BitPlane::countOnes() const
 {
-    std::uint64_t n = 0;
-    for (auto w : words_)
-        n += std::popcount(w);
-    return n;
+    // Stride padding is all-zero, so the whole buffer counts in one
+    // dispatched scan.
+    return popcountSpan(words_.data(), words_.size());
 }
 
 std::uint64_t
 BitPlane::countOnesInRow(std::size_t r) const
 {
-    std::uint64_t n = 0;
-    for (std::size_t i = 0; i < wordsPerRow_; ++i)
-        n += std::popcount(words_[r * wordsPerRow_ + i]);
-    return n;
+    return popcountSpan(rowData(r), rowStride_);
 }
 
 double
@@ -66,7 +72,7 @@ BitPlane::patternsAt(std::size_t row0, std::size_t m, std::size_t word,
     std::uint64_t any = 0;
     std::size_t nrows = 0;
     for (std::size_t r = row0; r < last; ++r) {
-        const std::uint64_t w = words_[r * wordsPerRow_ + word];
+        const std::uint64_t w = words_[r * rowStride_ + word];
         rowWords[nrows++] = w;
         any |= w;
     }
@@ -110,8 +116,10 @@ BitPlane::columnPatterns(std::size_t row0, std::size_t m,
 bool
 BitPlane::operator==(const BitPlane &other) const
 {
+    // Equal dims imply equal strides, and padding is zero on both
+    // sides, so whole-buffer comparison is exact.
     return rows_ == other.rows_ && cols_ == other.cols_ &&
-           words_ == other.words_;
+           equalSpan(words_.data(), other.words_.data(), words_.size());
 }
 
 } // namespace mcbp::bitslice

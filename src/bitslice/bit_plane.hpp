@@ -13,9 +13,23 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/aligned_buffer.hpp"
+
 namespace mcbp::bitslice {
 
-/** A rows x cols binary matrix packed in 64-bit words (row-major). */
+/**
+ * A rows x cols binary matrix packed in 64-bit words (row-major).
+ *
+ * Storage contract (the enabler of the SIMD plane-scan backend): rows
+ * live at a fixed stride of whole 64-byte cache lines inside a
+ * 64-byte-aligned buffer (common/AlignedBuffer), and every bit beyond
+ * cols() — the tail-word columns and the stride padding words — is
+ * zero. A vector load that starts at any in-row word therefore never
+ * straddles into the next row's data, and whole-row kernels consume
+ * rowStride() words with no tail branch at all. External code that
+ * previously indexed a dense rows x wordsPerRow() vector must switch
+ * to rowData()/rowStride() (see README "Performance").
+ */
 class BitPlane
 {
   public:
@@ -75,6 +89,23 @@ class BitPlane
     std::size_t wordsPerRow() const { return wordsPerRow_; }
 
     /**
+     * Allocated words per row: wordsPerRow() rounded up to a whole
+     * 64-byte line. Words in [wordsPerRow(), rowStride()) are zero.
+     */
+    std::size_t rowStride() const { return rowStride_; }
+
+    /** First packed word of row @p r (rowStride() words, 64B-aligned). */
+    const std::uint64_t *
+    rowData(std::size_t r) const
+    {
+        return words_.data() + r * rowStride_;
+    }
+
+    /** Whole backing buffer: rows() * rowStride() words, padding zero. */
+    const std::uint64_t *data() const { return words_.data(); }
+    std::size_t totalWords() const { return words_.size(); }
+
+    /**
      * Packed word @p word of row @p r: bit c of the result is column
      * (word * 64 + c). Bits at or beyond cols() are always zero. This
      * is the raw word patternsAt() reads — exposed so full-column
@@ -84,7 +115,7 @@ class BitPlane
     std::uint64_t
     rowWord(std::size_t r, std::size_t word) const
     {
-        return words_[r * wordsPerRow_ + word];
+        return words_[r * rowStride_ + word];
     }
 
     /**
@@ -106,13 +137,14 @@ class BitPlane
     std::size_t
     wordIndex(std::size_t r, std::size_t c) const
     {
-        return r * wordsPerRow_ + (c >> 6);
+        return r * rowStride_ + (c >> 6);
     }
 
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
     std::size_t wordsPerRow_ = 0;
-    std::vector<std::uint64_t> words_;
+    std::size_t rowStride_ = 0;
+    common::AlignedBuffer<std::uint64_t> words_;
 };
 
 } // namespace mcbp::bitslice

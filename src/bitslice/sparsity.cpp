@@ -42,18 +42,37 @@ measureRepetition(const BitPlane &plane, std::size_t m)
 {
     fatalIf(m == 0 || m > 16, "group size must be in [1, 16]");
     RepetitionReport rep;
-    std::vector<std::uint32_t> patterns;
     std::vector<bool> seen(pow2(static_cast<unsigned>(m)), false);
     for (std::size_t row0 = 0; row0 < plane.rows(); row0 += m) {
-        plane.columnPatterns(row0, m, patterns);
+        const std::size_t last = std::min(row0 + m, plane.rows());
         std::fill(seen.begin(), seen.end(), false);
-        for (std::uint32_t p : patterns) {
-            ++rep.totalColumns;
-            if (p == 0) {
-                ++rep.zeroColumns;
-            } else if (!seen[p]) {
-                seen[p] = true;
-                ++rep.distinctColumns;
+        // Word-parallel: the block's OR word names the non-zero columns,
+        // so zero columns are counted by popcount instead of visited.
+        for (std::size_t word = 0; word < plane.wordsPerRow(); ++word) {
+            const std::size_t width =
+                std::min<std::size_t>(64, plane.cols() - (word << 6));
+            std::uint64_t rowWords[16];
+            std::uint64_t any = 0;
+            std::size_t nrows = 0;
+            for (std::size_t r = row0; r < last; ++r) {
+                const std::uint64_t w = plane.rowWord(r, word);
+                rowWords[nrows++] = w;
+                any |= w;
+            }
+            rep.totalColumns += width;
+            rep.zeroColumns += width - popcount64(any);
+            while (any != 0) {
+                const int c = std::countr_zero(any);
+                any &= any - 1;
+                std::uint32_t p = 0;
+                for (std::size_t r = 0; r < nrows; ++r)
+                    p |= static_cast<std::uint32_t>(
+                             (rowWords[r] >> c) & 1u)
+                         << r;
+                if (!seen[p]) {
+                    seen[p] = true;
+                    ++rep.distinctColumns;
+                }
             }
         }
     }
@@ -127,9 +146,8 @@ compareMergeStrategies(const BitPlane &plane, std::size_t m)
             while (any != 0) {
                 const int c = std::countr_zero(any);
                 any &= any - 1;
-                std::uint64_t ones = 0;
-                for (const std::uint64_t w : block[c].words)
-                    ones += popcount64(w);
+                const std::uint64_t ones = popcountSpan(
+                    block[c].words.data(), block[c].words.size());
                 auto [it, inserted] =
                     uniq.try_emplace(std::move(block[c]), ones);
                 if (!inserted)
@@ -150,18 +168,35 @@ compareMergeStrategies(const BitPlane &plane, std::size_t m)
     // adds each present pattern's popcount once.
     {
         fatalIf(m == 0 || m > 16, "group size must be in [1, 16]");
-        std::vector<std::uint32_t> patterns;
         std::vector<std::uint32_t> count(pow2(static_cast<unsigned>(m)), 0);
         std::uint64_t adds = 0;
         for (std::size_t row0 = 0; row0 < plane.rows(); row0 += m) {
-            plane.columnPatterns(row0, m, patterns);
+            const std::size_t last = std::min(row0 + m, plane.rows());
             std::fill(count.begin(), count.end(), 0);
-            for (std::uint32_t p : patterns) {
-                if (p == 0)
-                    continue;
-                if (count[p] > 0)
-                    ++adds; // merge into existing MAV entry
-                ++count[p];
+            // Same word-walk as measureRepetition: only non-zero
+            // columns (set bits of the block OR) are visited.
+            for (std::size_t word = 0; word < plane.wordsPerRow();
+                 ++word) {
+                std::uint64_t rowWords[16];
+                std::uint64_t any = 0;
+                std::size_t nrows = 0;
+                for (std::size_t r = row0; r < last; ++r) {
+                    const std::uint64_t w = plane.rowWord(r, word);
+                    rowWords[nrows++] = w;
+                    any |= w;
+                }
+                while (any != 0) {
+                    const int c = std::countr_zero(any);
+                    any &= any - 1;
+                    std::uint32_t p = 0;
+                    for (std::size_t r = 0; r < nrows; ++r)
+                        p |= static_cast<std::uint32_t>(
+                                 (rowWords[r] >> c) & 1u)
+                             << r;
+                    if (count[p] > 0)
+                        ++adds; // merge into existing MAV entry
+                    ++count[p];
+                }
             }
             for (std::size_t p = 1; p < count.size(); ++p) {
                 if (count[p] > 0)

@@ -1,6 +1,7 @@
 #include "brcr/brcr_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/bit_util.hpp"
 #include "common/logging.hpp"
@@ -44,6 +45,8 @@ BrcrEngine::accumulateHalf(const bitslice::SignMagnitude &half, int sign,
     s.order.assign(k_dim, 0);
     s.z.assign(pattern_space, 0);
     s.acc.assign(m, 0);
+    const std::size_t mask_words = (k_dim + 63) / 64;
+    s.nonzero.assign(mask_words, 0);
 
     for (std::size_t p = 0; p < half.magnitude.size(); ++p) {
         const bitslice::BitPlane &plane = half.magnitude[p];
@@ -51,11 +54,28 @@ BrcrEngine::accumulateHalf(const bitslice::SignMagnitude &half, int sign,
             const std::size_t rows_here = std::min(m, half.rows - row0);
             plane.columnPatterns(row0, m, s.patterns);
 
+            // Non-zero-column bitmap (dispatched SIMD kernel): the
+            // counting sort and scatter below walk only its set bits,
+            // so the all-zero columns that dominate sparse planes cost
+            // a popcount instead of a table update each.
+            nonzeroMask32Span(s.patterns.data(), k_dim,
+                              s.nonzero.data());
+
             // Counting sort of columns by pattern (the CAM match step).
             std::fill(s.count.begin(), s.count.end(), 0);
-            for (std::size_t c = 0; c < k_dim; ++c)
-                ++s.count[s.patterns[c]];
-            ops.zeroColumns += s.count[0];
+            std::size_t nz_cols = 0;
+            for (std::size_t wi = 0; wi < mask_words; ++wi) {
+                std::uint64_t bits = s.nonzero[wi];
+                nz_cols += static_cast<std::size_t>(popcount64(bits));
+                while (bits != 0) {
+                    const std::size_t c =
+                        (wi << 6) + static_cast<std::size_t>(
+                                        std::countr_zero(bits));
+                    bits &= bits - 1;
+                    ++s.count[s.patterns[c]];
+                }
+            }
+            ops.zeroColumns += k_dim - nz_cols;
             s.present.clear();
             std::uint32_t pos = 0;
             for (std::size_t pat = 1; pat < pattern_space; ++pat) {
@@ -66,11 +86,17 @@ BrcrEngine::accumulateHalf(const bitslice::SignMagnitude &half, int sign,
             }
             std::copy(s.offset.begin(), s.offset.end() - 1,
                       s.cursor.begin());
-            for (std::size_t c = 0; c < k_dim; ++c) {
-                const std::uint32_t pat = s.patterns[c];
-                if (pat != 0)
-                    s.order[s.cursor[pat]++] =
+            // Scatter in ascending column order via the same bitmap.
+            for (std::size_t wi = 0; wi < mask_words; ++wi) {
+                std::uint64_t bits = s.nonzero[wi];
+                while (bits != 0) {
+                    const std::size_t c =
+                        (wi << 6) + static_cast<std::size_t>(
+                                        std::countr_zero(bits));
+                    bits &= bits - 1;
+                    s.order[s.cursor[s.patterns[c]]++] =
                         static_cast<std::uint32_t>(c);
+                }
             }
             ++ops.groupsProcessed;
             // The controller enumerates every search key except the

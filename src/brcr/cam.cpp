@@ -59,10 +59,10 @@ CamMatchUnit::search(std::uint32_t key)
     const std::uint32_t lo = key & half_mask;
     const std::uint32_t ho = (key >> halfBits_) & half_mask;
     std::vector<std::uint64_t> bitmap(bitmapWords(), 0);
-    for (std::size_t w = 0; w < bitmap.size(); ++w) {
-        bitmap[w] = bankHo_[ho][w] & bankLo_[lo][w];
-        stats_.matches += std::popcount(bitmap[w]);
-    }
+    // Fused AND + popcount over the two bank rows (dispatched kernel):
+    // one pass produces both the match bitmap and the match count.
+    stats_.matches += andPopcountSpan(bitmap.data(), bankHo_[ho].data(),
+                                      bankLo_[lo].data(), bitmap.size());
     return bitmap;
 }
 

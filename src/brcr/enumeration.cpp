@@ -1,5 +1,7 @@
 #include "brcr/enumeration.hpp"
 
+#include <bit>
+
 #include "common/bit_util.hpp"
 #include "common/logging.hpp"
 
@@ -26,17 +28,32 @@ factorizeGroup(const bitslice::BitPlane &plane, std::size_t row0,
     const std::size_t pattern_space = pow2(static_cast<unsigned>(m));
     if (scratch.indexOf.size() < pattern_space)
         scratch.indexOf.assign(pattern_space, -1);
-    for (std::size_t c = 0; c < scratch.patterns.size(); ++c) {
-        const std::uint32_t p = scratch.patterns[c];
-        if (p == 0)
-            continue;
-        std::int32_t d = scratch.indexOf[p];
-        if (d < 0) {
-            d = static_cast<std::int32_t>(out.patterns.size());
-            scratch.indexOf[p] = d;
-            out.patterns.push_back(p);
+
+    // Visit only non-zero columns: the dispatched kernel builds a
+    // bitmap over the pattern slots, and the dedup walks its set bits
+    // (zero columns keep their -1 columnIndex untouched).
+    const std::size_t n = scratch.patterns.size();
+    const std::size_t mask_words = (n + 63) / 64;
+    if (scratch.nonzero.size() < mask_words)
+        scratch.nonzero.resize(mask_words);
+    nonzeroMask32Span(scratch.patterns.data(), n,
+                      scratch.nonzero.data());
+    for (std::size_t wi = 0; wi < mask_words; ++wi) {
+        std::uint64_t bits = scratch.nonzero[wi];
+        while (bits != 0) {
+            const std::size_t c =
+                (wi << 6) +
+                static_cast<std::size_t>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const std::uint32_t p = scratch.patterns[c];
+            std::int32_t d = scratch.indexOf[p];
+            if (d < 0) {
+                d = static_cast<std::int32_t>(out.patterns.size());
+                scratch.indexOf[p] = d;
+                out.patterns.push_back(p);
+            }
+            out.columnIndex[c] = d;
         }
-        out.columnIndex[c] = d;
     }
     for (const std::uint32_t p : out.patterns)
         scratch.indexOf[p] = -1;

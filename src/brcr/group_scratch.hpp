@@ -26,6 +26,7 @@ struct GroupScratch
     std::vector<std::uint32_t> cursor;   ///< Scatter cursors per pattern.
     std::vector<std::uint32_t> order;    ///< Columns sorted by pattern.
     std::vector<std::uint32_t> present;  ///< Patterns with count > 0.
+    std::vector<std::uint64_t> nonzero;  ///< Non-zero-column bitmap.
     std::vector<std::int64_t> z;         ///< Merged activation vector.
     std::vector<std::int64_t> acc;       ///< Group outputs.
     /**

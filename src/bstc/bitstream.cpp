@@ -5,37 +5,52 @@
 namespace mcbp::bstc {
 
 void
-BitWriter::putBit(bool b)
-{
-    const std::size_t byte = static_cast<std::size_t>(bits_ >> 3);
-    if (byte >= data_.size())
-        data_.push_back(0);
-    if (b)
-        data_[byte] |= static_cast<std::uint8_t>(1u << (bits_ & 7));
-    ++bits_;
-}
-
-void
 BitWriter::putBits(std::uint32_t v, unsigned n)
 {
     panicIf(n > 32, "putBits width > 32");
-    for (unsigned i = 0; i < n; ++i)
-        putBit((v >> i) & 1u);
+    if (n == 0)
+        return;
+    ensure(bits_ + n);
+    const std::uint64_t val =
+        static_cast<std::uint64_t>(v) & ((std::uint64_t{1} << n) - 1);
+    const std::size_t wi = static_cast<std::size_t>(bits_ >> 6);
+    const unsigned off = static_cast<unsigned>(bits_ & 63);
+    words_[wi] |= val << off;
+    if (off + n > 64)
+        words_[wi + 1] |= val >> (64 - off);
+    bits_ += n;
 }
 
-BitReader::BitReader(const std::vector<std::uint8_t> &data,
-                     std::uint64_t bit_count)
-    : data_(data), bitCount_(bit_count)
+common::AlignedBuffer<std::uint64_t>
+BitWriter::takeWords()
 {
-    panicIf(bit_count > data.size() * 8, "bit count exceeds buffer");
+    // Trim the capacity overshoot so holders pay for bits, not growth.
+    words_.resize(wordCount());
+    common::AlignedBuffer<std::uint64_t> out = std::move(words_);
+    bits_ = 0;
+    return out;
+}
+
+BitReader::BitReader(const common::AlignedBuffer<std::uint64_t> &words,
+                     std::uint64_t bit_count)
+    : words_(words.data()), bitCount_(bit_count)
+{
+    panicIf(bit_count > static_cast<std::uint64_t>(words.size()) * 64,
+            "bit count exceeds buffer");
+}
+
+BitReader::BitReader(const BitWriter &w)
+    : words_(w.words()), bitCount_(w.bitCount())
+{
 }
 
 bool
 BitReader::getBit()
 {
     panicIf(pos_ >= bitCount_, "bit stream exhausted");
-    const bool b = (data_[static_cast<std::size_t>(pos_ >> 3)] >>
-                    (pos_ & 7)) & 1u;
+    const bool b = (words_[static_cast<std::size_t>(pos_ >> 6)] >>
+                    (pos_ & 63)) &
+                   1u;
     ++pos_;
     return b;
 }
@@ -44,10 +59,17 @@ std::uint32_t
 BitReader::getBits(unsigned n)
 {
     panicIf(n > 32, "getBits width > 32");
-    std::uint32_t v = 0;
-    for (unsigned i = 0; i < n; ++i)
-        v |= static_cast<std::uint32_t>(getBit()) << i;
-    return v;
+    if (n == 0)
+        return 0;
+    panicIf(pos_ + n > bitCount_, "bit stream exhausted");
+    const std::size_t wi = static_cast<std::size_t>(pos_ >> 6);
+    const unsigned off = static_cast<unsigned>(pos_ & 63);
+    std::uint64_t v = words_[wi] >> off;
+    if (off + n > 64)
+        v |= words_[wi + 1] << (64 - off);
+    pos_ += n;
+    return static_cast<std::uint32_t>(v &
+                                      ((std::uint64_t{1} << n) - 1));
 }
 
 void

@@ -1,14 +1,24 @@
 /**
  * @file
  * Bit-granular stream writer/reader used by the BSTC codec. Bits are
- * packed LSB-first into bytes; the reader consumes them in the same
- * order, mirroring the serial-in behaviour of the hardware decoder's
- * SIPO register (Fig 15b).
+ * packed LSB-first — bit i of the stream is bit (i & 63) of word
+ * (i >> 6) — mirroring the serial-in behaviour of the hardware
+ * decoder's SIPO register (Fig 15b).
+ *
+ * Storage is a 64-byte-aligned, zero-padded word buffer
+ * (common/AlignedBuffer): appends are one or two word-ORs instead of a
+ * per-bit loop, bulk zero runs are a pure cursor advance (the BSTC
+ * zero-symbol fast path), and downstream consumers can walk the packed
+ * words directly. This replaced the original byte-vector layout —
+ * callers that held `bytes()` now take `words()` (same LSB-first bit
+ * order, so bit k lives in the same position either way).
  */
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+#include "common/aligned_buffer.hpp"
 
 namespace mcbp::bstc {
 
@@ -17,19 +27,65 @@ class BitWriter
 {
   public:
     /** Append a single bit. */
-    void putBit(bool b);
+    void
+    putBit(bool b)
+    {
+        ensure(bits_ + 1);
+        if (b)
+            words_[static_cast<std::size_t>(bits_ >> 6)] |=
+                std::uint64_t{1} << (bits_ & 63);
+        ++bits_;
+    }
 
     /** Append the low @p n bits of @p v, LSB first. @p n <= 32. */
     void putBits(std::uint32_t v, unsigned n);
 
+    /**
+     * Append @p n zero bits. The buffer beyond the cursor is already
+     * zero, so this only advances the cursor — the whole point of the
+     * padded word storage for sparse-plane encoding.
+     */
+    void
+    putZeroBits(std::uint64_t n)
+    {
+        ensure(bits_ + n);
+        bits_ += n;
+    }
+
     /** Number of bits written so far. */
     std::uint64_t bitCount() const { return bits_; }
 
-    /** Backing bytes (last byte zero-padded). */
-    const std::vector<std::uint8_t> &bytes() const { return data_; }
+    /** Backing words, LSB-first bit order; tail bits zero-padded. */
+    const std::uint64_t *words() const { return words_.data(); }
+
+    /** Words holding valid bits: ceil(bitCount / 64). */
+    std::size_t
+    wordCount() const
+    {
+        return static_cast<std::size_t>((bits_ + 63) >> 6);
+    }
+
+    /** The backing buffer (size() == wordCount(), aligned, padded). */
+    const common::AlignedBuffer<std::uint64_t> &
+    buffer() const
+    {
+        return words_;
+    }
+
+    /** Move the backing buffer out (the writer resets to empty). */
+    common::AlignedBuffer<std::uint64_t> takeWords();
 
   private:
-    std::vector<std::uint8_t> data_;
+    void
+    ensure(std::uint64_t bits)
+    {
+        const std::size_t need =
+            static_cast<std::size_t>((bits + 63) >> 6);
+        if (need > words_.size())
+            words_.resize(need);
+    }
+
+    common::AlignedBuffer<std::uint64_t> words_;
     std::uint64_t bits_ = 0;
 };
 
@@ -37,7 +93,12 @@ class BitWriter
 class BitReader
 {
   public:
-    BitReader(const std::vector<std::uint8_t> &data, std::uint64_t bit_count);
+    /** Read from a word buffer holding @p bit_count valid bits. */
+    BitReader(const common::AlignedBuffer<std::uint64_t> &words,
+              std::uint64_t bit_count);
+
+    /** Read everything a writer has produced so far. */
+    explicit BitReader(const BitWriter &w);
 
     /** Read one bit; throws std::logic_error past the end. */
     bool getBit();
@@ -55,7 +116,7 @@ class BitReader
     void seek(std::uint64_t bit_pos);
 
   private:
-    const std::vector<std::uint8_t> &data_;
+    const std::uint64_t *words_;
     std::uint64_t bitCount_;
     std::uint64_t pos_ = 0;
 };

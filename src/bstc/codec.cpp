@@ -1,5 +1,6 @@
 #include "bstc/codec.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "common/logging.hpp"
@@ -12,17 +13,48 @@ encodeGroup(const bitslice::BitPlane &plane, std::size_t row0,
 {
     fatalIf(m == 0 || m > 16, "BSTC group size must be in [1, 16]");
     CodecStats stats;
-    std::vector<std::uint32_t> patterns;
-    plane.columnPatterns(row0, m, patterns);
-    for (std::uint32_t p : patterns) {
-        if (p == 0) {
-            out.putBit(false);
-            ++stats.zeroSymbols;
-        } else {
-            out.putBit(true);
-            out.putBits(p, static_cast<unsigned>(m));
-            ++stats.nonZeroSymbols;
+    const std::size_t last = std::min(row0 + m, plane.rows());
+    const unsigned mbits = static_cast<unsigned>(m);
+
+    // Consume the packed words directly: one word per group row covers
+    // 64 columns, and runs of zero columns — the overwhelming majority
+    // on the high-magnitude planes — become a single cursor advance
+    // (putZeroBits) instead of 64 putBit calls. Stream bits and symbol
+    // counts are identical to the per-column reference encoding.
+    for (std::size_t word = 0; word < plane.wordsPerRow(); ++word) {
+        const std::size_t col0 = word << 6;
+        const std::size_t width =
+            std::min<std::size_t>(64, plane.cols() - col0);
+
+        std::uint64_t rowWords[16];
+        std::uint64_t any = 0;
+        std::size_t nrows = 0;
+        for (std::size_t r = row0; r < last; ++r) {
+            const std::uint64_t w = plane.rowWord(r, word);
+            rowWords[nrows++] = w;
+            any |= w;
         }
+
+        // Bits at or beyond cols() are zero by the storage contract, so
+        // `any` never points past `width`.
+        std::size_t prev = 0;
+        while (any != 0) {
+            const std::size_t c =
+                static_cast<std::size_t>(std::countr_zero(any));
+            any &= any - 1;
+            out.putZeroBits(c - prev);
+            stats.zeroSymbols += c - prev;
+            std::uint32_t p = 0;
+            for (std::size_t r = 0; r < nrows; ++r)
+                p |= static_cast<std::uint32_t>((rowWords[r] >> c) & 1u)
+                     << r;
+            out.putBit(true);
+            out.putBits(p, mbits);
+            ++stats.nonZeroSymbols;
+            prev = c + 1;
+        }
+        out.putZeroBits(width - prev);
+        stats.zeroSymbols += width - prev;
     }
     return stats;
 }

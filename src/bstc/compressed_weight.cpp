@@ -1,5 +1,7 @@
 #include "bstc/compressed_weight.hpp"
 
+#include <bit>
+
 #include "bstc/codec.hpp"
 #include "common/bit_util.hpp"
 #include "common/logging.hpp"
@@ -14,15 +16,44 @@ packRawPlane(const bitslice::BitPlane &plane, std::size_t m,
              StoredPlane &out)
 {
     BitWriter w;
-    std::vector<std::uint32_t> patterns;
+    const unsigned mbits = static_cast<unsigned>(m);
+    // Walk the padded words instead of re-extracting bits per column:
+    // a zero column contributes m zero bits, so runs of them collapse
+    // into a single cursor advance. Bit stream is identical to the
+    // per-column packing.
     for (std::size_t row0 = 0; row0 < plane.rows(); row0 += m) {
-        plane.columnPatterns(row0, m, patterns);
-        for (std::uint32_t p : patterns)
-            w.putBits(p, static_cast<unsigned>(m));
+        const std::size_t last = std::min(row0 + m, plane.rows());
+        for (std::size_t word = 0; word < plane.wordsPerRow(); ++word) {
+            const std::size_t width =
+                std::min<std::size_t>(64, plane.cols() - (word << 6));
+            std::uint64_t rowWords[16];
+            std::uint64_t any = 0;
+            std::size_t nrows = 0;
+            for (std::size_t r = row0; r < last; ++r) {
+                const std::uint64_t rw = plane.rowWord(r, word);
+                rowWords[nrows++] = rw;
+                any |= rw;
+            }
+            std::size_t prev = 0;
+            while (any != 0) {
+                const std::size_t c =
+                    static_cast<std::size_t>(std::countr_zero(any));
+                any &= any - 1;
+                w.putZeroBits((c - prev) * mbits);
+                std::uint32_t p = 0;
+                for (std::size_t r = 0; r < nrows; ++r)
+                    p |= static_cast<std::uint32_t>(
+                             (rowWords[r] >> c) & 1u)
+                         << r;
+                w.putBits(p, mbits);
+                prev = c + 1;
+            }
+            w.putZeroBits((width - prev) * mbits);
+        }
     }
     out.encoded = false;
-    out.data = w.bytes();
     out.bitCount = w.bitCount();
+    out.data = w.takeWords();
 }
 
 } // namespace
@@ -61,19 +92,25 @@ CompressedWeight::CompressedWeight(const Int8Matrix &w, quant::BitWidth bw,
                 const std::size_t c0 = s * segmentCols_;
                 const std::size_t c1 =
                     std::min(c0 + segmentCols_, cols_);
+                // Zero symbols are single '0' bits; batch runs of them
+                // into one cursor advance.
+                std::size_t zeroRun = 0;
                 for (std::size_t c = c0; c < c1; ++c) {
                     const std::uint32_t pat = patterns[c];
                     if (pat == 0) {
-                        writer.putBit(false);
-                    } else {
-                        writer.putBit(true);
-                        writer.putBits(pat, static_cast<unsigned>(m_));
+                        ++zeroRun;
+                        continue;
                     }
+                    writer.putZeroBits(zeroRun);
+                    zeroRun = 0;
+                    writer.putBit(true);
+                    writer.putBits(pat, static_cast<unsigned>(m_));
                 }
+                writer.putZeroBits(zeroRun);
             }
         }
-        sp.data = writer.bytes();
         sp.bitCount = writer.bitCount();
+        sp.data = writer.takeWords();
     }
     packRawPlane(sm.sign, m_, sign_);
 }

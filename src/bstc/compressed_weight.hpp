@@ -18,6 +18,7 @@
 #include "bitslice/sign_magnitude.hpp"
 #include "bstc/bitstream.hpp"
 #include "bstc/plane_policy.hpp"
+#include "common/aligned_buffer.hpp"
 #include "common/matrix.hpp"
 
 namespace mcbp::bstc {
@@ -26,7 +27,8 @@ namespace mcbp::bstc {
 struct StoredPlane
 {
     bool encoded = false;             ///< BSTC-coded vs raw bits.
-    std::vector<std::uint8_t> data;   ///< Packed stream.
+    /** Packed stream, LSB-first 64-bit words (64B-aligned, zero tail). */
+    common::AlignedBuffer<std::uint64_t> data;
     std::uint64_t bitCount = 0;       ///< Valid bits in data.
     /**
      * Per (row-group, segment) start bit offset. Row-group-major:

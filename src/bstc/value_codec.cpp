@@ -53,8 +53,8 @@ rleEncode(const Int8Matrix &w)
     }
     flush_run();
     ValueCompressed blob;
-    blob.data = writer.bytes();
     blob.bitCount = writer.bitCount();
+    blob.data = writer.takeWords();
     blob.rows = w.rows();
     blob.cols = w.cols();
     return blob;
@@ -233,8 +233,8 @@ huffmanEncode(const Int8Matrix &w)
             writer.putBit((cc.code[s] >> b) & 1u);
     });
     ValueCompressed blob;
-    blob.data = writer.bytes();
     blob.bitCount = writer.bitCount();
+    blob.data = writer.takeWords();
     blob.rows = w.rows();
     blob.cols = w.cols();
     return blob;

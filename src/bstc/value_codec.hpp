@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bstc/bitstream.hpp"
+#include "common/aligned_buffer.hpp"
 #include "common/matrix.hpp"
 
 namespace mcbp::bstc {
@@ -22,7 +23,8 @@ namespace mcbp::bstc {
 /** A compressed value-level weight blob. */
 struct ValueCompressed
 {
-    std::vector<std::uint8_t> data;
+    /** Packed stream, LSB-first 64-bit words (64B-aligned, zero tail). */
+    common::AlignedBuffer<std::uint64_t> data;
     std::uint64_t bitCount = 0;
     std::size_t rows = 0;
     std::size_t cols = 0;

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * 64-byte-aligned, zero-padded flat buffer — the storage contract of the
+ * SIMD plane-scan kernels (common/simd/).
+ *
+ * Every allocation starts on a 64-byte boundary and is padded up to a
+ * whole number of 64-byte lines, with the padding kept all-zero. A
+ * vector load that starts at any element index < size() therefore never
+ * faults and never reads garbage: tail lanes see zeros, so kernels mask
+ * tails arithmetically instead of branching into scalar epilogues.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mcbp::common {
+
+template <typename T>
+class AlignedBuffer
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "AlignedBuffer is raw storage for trivial types");
+
+  public:
+    /** Alignment and padding quantum, in bytes (one cache line). */
+    static constexpr std::size_t kAlignment = 64;
+    /** Elements per 64-byte line. */
+    static constexpr std::size_t kLineElems = kAlignment / sizeof(T);
+
+    AlignedBuffer() = default;
+
+    /** @p n zero-initialized elements. */
+    explicit AlignedBuffer(std::size_t n) { resize(n); }
+
+    AlignedBuffer(const AlignedBuffer &other) { assignFrom(other); }
+
+    AlignedBuffer(AlignedBuffer &&other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          size_(std::exchange(other.size_, 0)),
+          padded_(std::exchange(other.padded_, 0))
+    {
+    }
+
+    AlignedBuffer &
+    operator=(const AlignedBuffer &other)
+    {
+        if (this != &other)
+            assignFrom(other);
+        return *this;
+    }
+
+    AlignedBuffer &
+    operator=(AlignedBuffer &&other) noexcept
+    {
+        if (this != &other) {
+            std::free(data_);
+            data_ = std::exchange(other.data_, nullptr);
+            size_ = std::exchange(other.size_, 0);
+            padded_ = std::exchange(other.padded_, 0);
+        }
+        return *this;
+    }
+
+    ~AlignedBuffer() { std::free(data_); }
+
+    /** Logical element count (allocation may be larger; see padded()). */
+    std::size_t size() const { return size_; }
+
+    /** Allocated elements: size() rounded up to a 64-byte line. */
+    std::size_t padded() const { return padded_; }
+
+    bool empty() const { return size_ == 0; }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+
+    /**
+     * Grow or shrink to @p n elements. Existing elements up to
+     * min(old, new) are preserved; everything beyond — including the
+     * line padding — is zero. Growth reallocates amortized (capacity
+     * doubles), so append-style callers (BitWriter) stay linear.
+     */
+    void
+    resize(std::size_t n)
+    {
+        const std::size_t need = paddedCount(n);
+        if (need > padded_) {
+            const std::size_t cap = std::max(need, padded_ * 2);
+            T *fresh = allocate(cap);
+            if (size_ > 0)
+                std::memcpy(fresh, data_, size_ * sizeof(T));
+            std::free(data_);
+            data_ = fresh;
+            padded_ = cap;
+        } else if (n < size_) {
+            // Shrink: restore the all-zero invariant above n.
+            std::memset(data_ + n, 0, (size_ - n) * sizeof(T));
+        }
+        size_ = n;
+    }
+
+    /** Set every element (and the padding) to zero bytes. */
+    void
+    clear()
+    {
+        if (data_ != nullptr)
+            std::memset(data_, 0, padded_ * sizeof(T));
+    }
+
+    bool
+    operator==(const AlignedBuffer &other) const
+    {
+        return size_ == other.size_ &&
+               (size_ == 0 ||
+                std::memcmp(data_, other.data_, size_ * sizeof(T)) == 0);
+    }
+
+  private:
+    static std::size_t
+    paddedCount(std::size_t n)
+    {
+        return (n + kLineElems - 1) / kLineElems * kLineElems;
+    }
+
+    static T *
+    allocate(std::size_t padded_elems)
+    {
+        if (padded_elems == 0)
+            return nullptr;
+        void *p = std::aligned_alloc(kAlignment, padded_elems * sizeof(T));
+        if (p == nullptr)
+            throw std::bad_alloc();
+        std::memset(p, 0, padded_elems * sizeof(T));
+        return static_cast<T *>(p);
+    }
+
+    void
+    assignFrom(const AlignedBuffer &other)
+    {
+        if (other.padded_ != padded_) {
+            std::free(data_);
+            data_ = allocate(other.padded_);
+            padded_ = other.padded_;
+        } else if (data_ != nullptr) {
+            std::memset(data_, 0, padded_ * sizeof(T));
+        }
+        if (other.size_ > 0)
+            std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+        size_ = other.size_;
+    }
+
+    T *data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t padded_ = 0;
+};
+
+} // namespace mcbp::common

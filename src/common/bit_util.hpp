@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <string>
 
+#include "common/simd/simd.hpp"
+
 namespace mcbp {
 
 /** Number of set bits in @p v. */
@@ -48,6 +50,94 @@ std::size_t ipow(std::size_t b, unsigned e);
  * Used for debugging and the worked paper examples.
  */
 std::string toBinary(std::uint64_t v, unsigned width);
+
+// ---- Word-span helpers -----------------------------------------------------
+//
+// The shared seam between the bit-plane layers and the SIMD backend:
+// bit_plane.cpp, sparsity.cpp, cam.cpp, brcr and the BSTC codec all used
+// to hand-roll these loops; they now route through the dispatched
+// kernels (common/simd/). Tiny spans stay inline and branch-free —
+// an indirect call costs more than the loop it would replace.
+
+/** Total set bits over @p n words. */
+inline std::uint64_t
+popcountSpan(const std::uint64_t *w, std::size_t n)
+{
+    if (n < 16) {
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            total += static_cast<std::uint64_t>(std::popcount(w[i]));
+        return total;
+    }
+    return simd::kernels().popcountWords(w, n);
+}
+
+/** OR-reduction over @p n words (any-set / density scans). */
+inline std::uint64_t
+orSpan(const std::uint64_t *w, std::size_t n)
+{
+    if (n < 16) {
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            acc |= w[i];
+        return acc;
+    }
+    return simd::kernels().orWords(w, n);
+}
+
+/** dst[i] = a[i] & b[i]; returns the popcount of the intersection. */
+inline std::uint64_t
+andPopcountSpan(std::uint64_t *dst, const std::uint64_t *a,
+                const std::uint64_t *b, std::size_t n)
+{
+    if (n < 8) {
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            dst[i] = a[i] & b[i];
+            total += static_cast<std::uint64_t>(std::popcount(dst[i]));
+        }
+        return total;
+    }
+    return simd::kernels().andPopcountWords(dst, a, b, n);
+}
+
+/** Exact equality of two @p n-word spans. */
+inline bool
+equalSpan(const std::uint64_t *a, const std::uint64_t *b, std::size_t n)
+{
+    if (n < 8) {
+        for (std::size_t i = 0; i < n; ++i)
+            if (a[i] != b[i])
+                return false;
+        return true;
+    }
+    return simd::kernels().equalWords(a, b, n);
+}
+
+/** Zero entries among @p n 32-bit pattern slots. */
+inline std::size_t
+countZero32Span(const std::uint32_t *v, std::size_t n)
+{
+    if (n < 32) {
+        std::size_t zeros = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            if (v[i] == 0)
+                ++zeros;
+        return zeros;
+    }
+    return simd::kernels().countZero32(v, n);
+}
+
+/**
+ * Bitmask of non-zero pattern slots: bit (i & 63) of mask[i >> 6] set
+ * iff v[i] != 0; writes ceil(n / 64) words, trailing bits zero.
+ */
+inline void
+nonzeroMask32Span(const std::uint32_t *v, std::size_t n,
+                  std::uint64_t *mask)
+{
+    simd::kernels().nonzeroMask32(v, n, mask);
+}
 
 /** Magnitude of an int8 in sign-magnitude encoding (|-128| clamps to 127). */
 inline std::uint8_t

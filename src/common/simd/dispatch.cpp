@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Runtime tier resolution: CPUID (via __builtin_cpu_supports) clamped
+ * by what this build could compile, clamped again by an optional
+ * MCBP_SIMD override. Resolution happens once, on first kernels() use;
+ * afterwards dispatch is a single relaxed atomic load plus the
+ * indirect call through the chosen table.
+ */
+#include "common/simd/kernels_internal.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mcbp::simd {
+
+namespace {
+
+std::atomic<const Kernels *> g_active{nullptr};
+
+} // namespace
+
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+    case Tier::Avx512:
+        return "avx512";
+    case Tier::Avx2:
+        return "avx2";
+    default:
+        return "scalar";
+    }
+}
+
+bool
+compiledAvx2()
+{
+    return detail::avx2Kernels() != nullptr;
+}
+
+bool
+compiledAvx512()
+{
+    return detail::avx512Kernels() != nullptr;
+}
+
+Tier
+detectCpuTier()
+{
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw"))
+        return Tier::Avx512;
+    if (__builtin_cpu_supports("avx2"))
+        return Tier::Avx2;
+#endif
+    return Tier::Scalar;
+}
+
+Tier
+availableTier()
+{
+    Tier t = detectCpuTier();
+    if (t == Tier::Avx512 && !compiledAvx512())
+        t = Tier::Avx2;
+    if (t == Tier::Avx2 && !compiledAvx2())
+        t = Tier::Scalar;
+    return t;
+}
+
+Tier
+resolveTier(const char *value, Tier available)
+{
+    if (value == nullptr)
+        return available;
+    Tier requested;
+    if (std::strcmp(value, "scalar") == 0)
+        requested = Tier::Scalar;
+    else if (std::strcmp(value, "avx2") == 0)
+        requested = Tier::Avx2;
+    else if (std::strcmp(value, "avx512") == 0)
+        requested = Tier::Avx512;
+    else
+        return available; // unknown override: ignore, never trust it
+    return requested < available ? requested : available;
+}
+
+Tier
+activeTier()
+{
+    static const Tier resolved =
+        resolveTier(std::getenv("MCBP_SIMD"), availableTier());
+    return resolved;
+}
+
+const Kernels &
+kernelsFor(Tier t)
+{
+    const Tier best = availableTier();
+    const Tier clamped = t < best ? t : best;
+    if (clamped == Tier::Avx512)
+        return *detail::avx512Kernels();
+    if (clamped == Tier::Avx2)
+        return *detail::avx2Kernels();
+    return detail::scalarKernels();
+}
+
+const Kernels &
+kernels()
+{
+    const Kernels *k = g_active.load(std::memory_order_acquire);
+    if (k == nullptr) {
+        // Benign race: every thread resolves to the same table.
+        k = &kernelsFor(activeTier());
+        g_active.store(k, std::memory_order_release);
+    }
+    return *k;
+}
+
+Tier
+forceTier(Tier t)
+{
+    const Kernels &k = kernelsFor(t);
+    g_active.store(&k, std::memory_order_release);
+    return k.tier;
+}
+
+void
+resetTier()
+{
+    g_active.store(&kernelsFor(activeTier()), std::memory_order_release);
+}
+
+} // namespace mcbp::simd

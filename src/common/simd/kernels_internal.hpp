@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Private seam between the dispatcher and the per-tier translation
+ * units. The AVX entry points return null when their TU was compiled
+ * without the ISA (old compiler) — the dispatcher treats that exactly
+ * like missing CPUID support.
+ */
+#pragma once
+
+#include "common/simd/simd.hpp"
+
+namespace mcbp::simd::detail {
+
+const Kernels &scalarKernels();
+const Kernels *avx2Kernels();
+const Kernels *avx512Kernels();
+
+} // namespace mcbp::simd::detail

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Scalar reference kernels — the semantics every vector tier must
+ * reproduce bit-for-bit. Compiled at the project's baseline ISA (no
+ * -m flags) so the scalar tier runs anywhere; kept deliberately plain
+ * so they stay readable as the specification.
+ */
+#include <bit>
+
+#include "common/simd/kernels_internal.hpp"
+
+namespace mcbp::simd::detail {
+
+namespace {
+
+std::uint64_t
+popcountWordsScalar(const std::uint64_t *w, std::size_t n)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        total += static_cast<std::uint64_t>(std::popcount(w[i]));
+    return total;
+}
+
+std::uint64_t
+orWordsScalar(const std::uint64_t *w, std::size_t n)
+{
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc |= w[i];
+    return acc;
+}
+
+std::uint64_t
+andPopcountWordsScalar(std::uint64_t *dst, const std::uint64_t *a,
+                       const std::uint64_t *b, std::size_t n)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t v = a[i] & b[i];
+        dst[i] = v;
+        total += static_cast<std::uint64_t>(std::popcount(v));
+    }
+    return total;
+}
+
+bool
+equalWordsScalar(const std::uint64_t *a, const std::uint64_t *b,
+                 std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (a[i] != b[i])
+            return false;
+    return true;
+}
+
+std::size_t
+countZero32Scalar(const std::uint32_t *v, std::size_t n)
+{
+    std::size_t zeros = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (v[i] == 0)
+            ++zeros;
+    return zeros;
+}
+
+void
+nonzeroMask32Scalar(const std::uint32_t *v, std::size_t n,
+                    std::uint64_t *mask)
+{
+    const std::size_t words = (n + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+        const std::size_t base = w << 6;
+        const std::size_t lanes = n - base < 64 ? n - base : 64;
+        std::uint64_t m = 0;
+        for (std::size_t j = 0; j < lanes; ++j)
+            m |= static_cast<std::uint64_t>(v[base + j] != 0) << j;
+        mask[w] = m;
+    }
+}
+
+constexpr Kernels kScalar = {
+    Tier::Scalar,       popcountWordsScalar, orWordsScalar,
+    andPopcountWordsScalar, equalWordsScalar, countZero32Scalar,
+    nonzeroMask32Scalar,
+};
+
+} // namespace
+
+const Kernels &
+scalarKernels()
+{
+    return kScalar;
+}
+
+} // namespace mcbp::simd::detail

@@ -1,0 +1,83 @@
+/** @file Unit tests for common/AlignedBuffer. */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "common/aligned_buffer.hpp"
+
+namespace mcbp::common {
+namespace {
+
+TEST(AlignedBuffer, AlignmentAndLinePadding)
+{
+    AlignedBuffer<std::uint64_t> buf(5);
+    EXPECT_EQ(buf.size(), 5u);
+    // Padded to a whole 64-byte line (8 u64 words) and 64B-aligned.
+    EXPECT_EQ(buf.padded(), 8u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+}
+
+TEST(AlignedBuffer, ZeroInitializedIncludingPadding)
+{
+    AlignedBuffer<std::uint64_t> buf(9);
+    for (std::size_t i = 0; i < buf.padded(); ++i)
+        EXPECT_EQ(buf.data()[i], 0u) << "word " << i;
+}
+
+TEST(AlignedBuffer, ResizePreservesAndZeroPads)
+{
+    AlignedBuffer<std::uint64_t> buf(3);
+    buf[0] = 11;
+    buf[1] = 22;
+    buf[2] = 33;
+    buf.resize(20);
+    EXPECT_EQ(buf.size(), 20u);
+    EXPECT_EQ(buf[0], 11u);
+    EXPECT_EQ(buf[1], 22u);
+    EXPECT_EQ(buf[2], 33u);
+    for (std::size_t i = 3; i < buf.padded(); ++i)
+        EXPECT_EQ(buf.data()[i], 0u) << "word " << i;
+
+    // Shrinking re-zeroes the released tail (the invariant BitWriter's
+    // putZeroBits depends on after takeWords + reuse).
+    buf[19] = 99;
+    buf.resize(4);
+    buf.resize(20);
+    EXPECT_EQ(buf[19], 0u);
+}
+
+TEST(AlignedBuffer, CopyAndMoveAndEquality)
+{
+    AlignedBuffer<std::uint32_t> a(10);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = static_cast<std::uint32_t>(i * 7);
+    AlignedBuffer<std::uint32_t> b = a;
+    EXPECT_TRUE(a == b);
+    b[3] ^= 1;
+    EXPECT_FALSE(a == b);
+
+    AlignedBuffer<std::uint32_t> c = std::move(b);
+    EXPECT_EQ(c.size(), 10u);
+    EXPECT_EQ(c[3], (3u * 7) ^ 1u);
+
+    AlignedBuffer<std::uint32_t> empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.size(), 0u);
+    AlignedBuffer<std::uint32_t> empty2(0);
+    EXPECT_TRUE(empty == empty2);
+}
+
+TEST(AlignedBuffer, IterationCoversExactlySize)
+{
+    AlignedBuffer<std::uint64_t> buf(6);
+    std::size_t n = 0;
+    for (std::uint64_t v : buf) {
+        EXPECT_EQ(v, 0u);
+        ++n;
+    }
+    EXPECT_EQ(n, 6u);
+}
+
+} // namespace
+} // namespace mcbp::common

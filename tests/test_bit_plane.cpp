@@ -1,6 +1,8 @@
 /** @file Unit tests for bitslice/bit_plane. */
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "bitslice/bit_plane.hpp"
 #include "common/rng.hpp"
 
@@ -127,6 +129,38 @@ TEST(BitPlane, GroupSizeLimit)
 {
     BitPlane p(32, 8);
     EXPECT_THROW(p.columnPattern(0, 17, 0), std::logic_error);
+}
+
+TEST(BitPlane, AlignedStrideContract)
+{
+    // 100 cols = 2 packed words, padded to a whole 64-byte line (8).
+    BitPlane p(3, 100);
+    EXPECT_EQ(p.wordsPerRow(), 2u);
+    EXPECT_EQ(p.rowStride(), 8u);
+    EXPECT_EQ(p.totalWords(), 3u * 8u);
+    for (std::size_t r = 0; r < 3; ++r) {
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p.rowData(r)) % 64,
+                  0u)
+            << "row " << r;
+        EXPECT_EQ(p.rowData(r), p.data() + r * p.rowStride());
+    }
+
+    // Every bit at or beyond cols() stays zero: the tail word's high
+    // columns and the whole stride padding.
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 100; ++c)
+            p.set(r, c, true);
+    EXPECT_EQ(p.countOnes(), 3u * 100u);
+    for (std::size_t r = 0; r < 3; ++r) {
+        EXPECT_EQ(p.rowWord(r, 1) >> (100 - 64), 0u) << "tail cols";
+        for (std::size_t w = p.wordsPerRow(); w < p.rowStride(); ++w)
+            EXPECT_EQ(p.rowData(r)[w], 0u) << "stride pad word " << w;
+    }
+
+    // Clearing bits keeps the contract intact.
+    p.set(1, 99, false);
+    EXPECT_EQ(p.countOnes(), 3u * 100u - 1);
+    EXPECT_EQ(p.countOnesInRow(1), 99u);
 }
 
 } // namespace

@@ -14,7 +14,7 @@ TEST(BitStream, SingleBits)
     w.putBit(false);
     w.putBit(true);
     EXPECT_EQ(w.bitCount(), 3u);
-    BitReader r(w.bytes(), w.bitCount());
+    BitReader r(w);
     EXPECT_TRUE(r.getBit());
     EXPECT_FALSE(r.getBit());
     EXPECT_TRUE(r.getBit());
@@ -27,7 +27,7 @@ TEST(BitStream, MultiBitRoundTrip)
     w.putBits(0b1011, 4);
     w.putBits(0x5a, 8);
     w.putBits(0x12345, 20);
-    BitReader r(w.bytes(), w.bitCount());
+    BitReader r(w);
     EXPECT_EQ(r.getBits(4), 0b1011u);
     EXPECT_EQ(r.getBits(8), 0x5au);
     EXPECT_EQ(r.getBits(20), 0x12345u);
@@ -45,7 +45,7 @@ TEST(BitStream, RandomRoundTrip)
         items.emplace_back(v, n);
         w.putBits(v, n);
     }
-    BitReader r(w.bytes(), w.bitCount());
+    BitReader r(w);
     for (const auto &[v, n] : items)
         EXPECT_EQ(r.getBits(n), v);
 }
@@ -56,7 +56,7 @@ TEST(BitStream, SeekAndPosition)
     w.putBits(0xff, 8);
     w.putBits(0x0, 8);
     w.putBits(0xab, 8);
-    BitReader r(w.bytes(), w.bitCount());
+    BitReader r(w);
     r.seek(16);
     EXPECT_EQ(r.position(), 16u);
     EXPECT_EQ(r.getBits(8), 0xabu);
@@ -68,7 +68,7 @@ TEST(BitStream, ExhaustionPanics)
 {
     BitWriter w;
     w.putBit(true);
-    BitReader r(w.bytes(), w.bitCount());
+    BitReader r(w);
     r.getBit();
     EXPECT_THROW(r.getBit(), std::logic_error);
 }
@@ -77,7 +77,7 @@ TEST(BitStream, SeekPastEndPanics)
 {
     BitWriter w;
     w.putBits(0xf, 4);
-    BitReader r(w.bytes(), w.bitCount());
+    BitReader r(w);
     EXPECT_THROW(r.seek(5), std::logic_error);
 }
 
@@ -86,7 +86,7 @@ TEST(BitStream, WidthLimitPanics)
     BitWriter w;
     EXPECT_THROW(w.putBits(0, 33), std::logic_error);
     w.putBits(0, 32);
-    BitReader r(w.bytes(), w.bitCount());
+    BitReader r(w);
     EXPECT_THROW(r.getBits(33), std::logic_error);
 }
 
@@ -94,8 +94,46 @@ TEST(BitStream, PaddingIsZero)
 {
     BitWriter w;
     w.putBit(true);
-    ASSERT_EQ(w.bytes().size(), 1u);
-    EXPECT_EQ(w.bytes()[0], 0x01);
+    ASSERT_EQ(w.wordCount(), 1u);
+    EXPECT_EQ(w.words()[0], 0x01u);
+    // The whole padded buffer beyond the cursor stays zero — the
+    // invariant putZeroBits relies on.
+    const auto &buf = w.buffer();
+    for (std::size_t i = 1; i < buf.padded(); ++i)
+        EXPECT_EQ(buf.data()[i], 0u) << "word " << i;
+}
+
+TEST(BitStream, ZeroRunMatchesPerBitEmission)
+{
+    BitWriter a;
+    BitWriter b;
+    a.putBits(0x3, 2);
+    b.putBits(0x3, 2);
+    a.putZeroBits(71);
+    for (int i = 0; i < 71; ++i)
+        b.putBit(false);
+    a.putBits(0x1f, 5);
+    b.putBits(0x1f, 5);
+    ASSERT_EQ(a.bitCount(), b.bitCount());
+    for (std::size_t i = 0; i < a.wordCount(); ++i)
+        EXPECT_EQ(a.words()[i], b.words()[i]) << "word " << i;
+}
+
+TEST(BitStream, TakeWordsRoundTrip)
+{
+    BitWriter w;
+    w.putBits(0xdeadbeef, 32);
+    w.putZeroBits(40);
+    w.putBits(0x155, 9);
+    const std::uint64_t bits = w.bitCount();
+    auto words = w.takeWords();
+    EXPECT_EQ(w.bitCount(), 0u); // writer reset by the move-out
+    BitReader r(words, bits);
+    EXPECT_EQ(r.getBits(32), 0xdeadbeefu);
+    EXPECT_EQ(r.getBits(20), 0u);
+    EXPECT_EQ(r.getBits(20), 0u);
+    EXPECT_EQ(r.getBits(9), 0x155u);
+    EXPECT_EQ(r.remaining(), 0u);
 }
 
 } // namespace

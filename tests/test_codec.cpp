@@ -32,7 +32,7 @@ TEST(Codec, WorkedExampleSymbols)
     EXPECT_EQ(st.zeroSymbols, 1u);
     EXPECT_EQ(st.nonZeroSymbols, 1u);
     EXPECT_EQ(w.bitCount(), 1u + 5u);
-    BitReader r(w.bytes(), w.bitCount());
+    BitReader r(w);
     auto cols = decodeColumns(r, 4, 2);
     EXPECT_EQ(cols[0], 0u);
     EXPECT_EQ(cols[1], 0b0001u);
@@ -52,7 +52,7 @@ TEST_P(CodecRoundTrip, PlaneRoundTripsLosslessly)
         257, density);
     BitWriter w;
     encodePlane(p, m, w);
-    BitReader r(w.bytes(), w.bitCount());
+    BitReader r(w);
     bitslice::BitPlane q = decodePlane(r, m, p.rows(), p.cols());
     EXPECT_TRUE(p == q);
     EXPECT_EQ(r.remaining(), 0u);
@@ -69,7 +69,7 @@ TEST(Codec, StatsCountSymbols)
     BitWriter w;
     CodecStats enc = encodePlane(p, 4, w);
     EXPECT_EQ(enc.totalSymbols(), 2u * 64u); // two groups of 64 columns
-    BitReader r(w.bytes(), w.bitCount());
+    BitReader r(w);
     CodecStats dec;
     decodePlane(r, 4, 8, 64, &dec);
     EXPECT_EQ(dec.zeroSymbols, enc.zeroSymbols);

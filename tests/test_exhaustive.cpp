@@ -72,7 +72,7 @@ TEST(Exhaustive, CodecAllFourBitColumns)
             plane.set(r, c, (c >> r) & 1);
     bstc::BitWriter w;
     bstc::encodePlane(plane, 4, w);
-    bstc::BitReader r(w.bytes(), w.bitCount());
+    bstc::BitReader r(w);
     EXPECT_TRUE(bstc::decodePlane(r, 4, 4, 16) == plane);
 }
 
