@@ -246,6 +246,10 @@ appendServingFields(JsonRecords &json, const engine::ServingReport &r)
         .field("p50_queue_s", r.p50QueueSeconds)
         .field("p90_queue_s", r.p90QueueSeconds)
         .field("p99_queue_s", r.p99QueueSeconds)
+        .field("p50_ttft_s", r.p50FirstTokenSeconds)
+        .field("p90_ttft_s", r.p90FirstTokenSeconds)
+        .field("p99_ttft_s", r.p99FirstTokenSeconds)
+        .field("mean_tpot_s", r.meanTpotSeconds)
         .field("tokens_per_s", r.tokensPerSecond)
         .field("joules_per_token", r.joulesPerToken)
         .field("mean_batch", r.meanBatchOccupancy)

@@ -60,8 +60,8 @@ kvPolicySweep(engine::Registry &registry, bench::JsonRecords &json)
         engine::ServingSimulator(*accel, base).simulate(trace);
 
     Table t({"KV budget [GB]", "Policy", "Admitted by last arrival",
-             "tok/s", "tok/s/GB", "p99 queue [s]", "Preemptions",
-             "Recomputed tokens", "Block fill"});
+             "tok/s", "tok/s/GB", "p99 queue [s]", "p99 TTFT [s]",
+             "Preemptions", "Recomputed tokens", "Block fill"});
     // No point may dip below the largest single request (it could
     // never be admitted under either policy); floor the sweep just
     // above the block-rounded worst case.
@@ -95,6 +95,7 @@ kvPolicySweep(engine::Registry &registry, bench::JsonRecords &json)
                       std::to_string(n), fmt(r.tokensPerSecond, 0),
                       fmt(r.tokensPerSecond / (budget / 1e9), 0),
                       fmt(r.p99QueueSeconds, 3),
+                      fmt(r.p99FirstTokenSeconds, 3),
                       std::to_string(r.preemptions),
                       std::to_string(r.recomputedTokens),
                       fmtPct(r.kvBlockUtilization)});

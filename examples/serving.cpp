@@ -34,6 +34,8 @@ report(const engine::ServingReport &r, const std::string &setting,
 {
     t.addRow({r.accelerator, setting, fmt(r.p50LatencySeconds, 3),
               fmt(r.p99LatencySeconds, 3), fmt(r.p99QueueSeconds, 3),
+              fmt(r.p50FirstTokenSeconds, 3),
+              fmt(r.meanTpotSeconds * 1e3, 1),
               fmt(r.tokensPerSecond, 0),
               fmt(r.joulesPerToken * 1e3, 2),
               fmt(r.meanBatchOccupancy, 1),
@@ -70,8 +72,9 @@ main(int argc, char **argv)
 
     engine::Registry registry;
     Table t({"Accelerator", "Setting", "p50 [s]", "p99 [s]",
-             "p99 queue [s]", "tok/s", "mJ/token", "mean batch",
-             "KV peak [GB]", "preempt", "batching gain"});
+             "p99 queue [s]", "p50 TTFT [s]", "TPOT [ms]", "tok/s",
+             "mJ/token", "mean batch", "KV peak [GB]", "preempt",
+             "batching gain"});
 
     // --- The fleet ------------------------------------------------------
     for (const std::string &spec :

@@ -1,0 +1,93 @@
+#include "accel/plan_cache.hpp"
+
+#include <utility>
+
+namespace mcbp::accel {
+
+namespace {
+
+/**
+ * Every Workload field an Accelerator::plan() may read participates in
+ * the key (name included: task identity is cheap to keep and guards
+ * against future task-conditional costing). The separator cannot occur
+ * in zoo names, and the identity goes last so its embedded newlines
+ * cannot collide with the structured prefix.
+ */
+std::string
+planKey(const std::string &identity, const model::LlmConfig &model,
+        const model::Workload &task)
+{
+    std::string key;
+    key.reserve(identity.size() + task.name.size() + model.name.size() + 64);
+    key += model.name;
+    key += '\x1f';
+    key += task.name;
+    key += '\x1f';
+    key += std::to_string(task.promptLen);
+    key += '\x1f';
+    key += std::to_string(task.decodeLen);
+    key += '\x1f';
+    key += std::to_string(task.batch);
+    key += '\x1f';
+    key += std::to_string(static_cast<int>(task.kind));
+    key += '\x1f';
+    key += std::to_string(task.attentionConcentration);
+    key += '\x1f';
+    key += identity;
+    return key;
+}
+
+} // namespace
+
+const RunMetrics &
+PlanCache::metrics(const std::string &identity,
+                   const model::LlmConfig &model,
+                   const model::Workload &task, const Compute &compute)
+{
+    // Find-or-create the key's slot under the map mutex, then run the
+    // (expensive) compute through the slot's once-flag with the mutex
+    // released: lookups of other keys proceed, racers on this key
+    // block on the one in-flight computation, and if compute throws,
+    // call_once lets the next caller retry the key.
+    std::shared_ptr<Slot> slot;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto &entry = entries_[planKey(identity, model, task)];
+        if (!entry)
+            entry = std::make_shared<Slot>();
+        slot = entry;
+    }
+    std::call_once(slot->once, [&] {
+        RunMetrics computed = compute();
+        std::lock_guard<std::mutex> lock(mutex_);
+        slot->value = std::move(computed);
+        slot->ready = true;
+        ++computeCalls_;
+    });
+    return slot->value;
+}
+
+std::size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const auto &kv : entries_)
+        n += kv.second->ready ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+PlanCache::computeCalls() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return computeCalls_;
+}
+
+std::shared_ptr<PlanCache>
+makePlanCache()
+{
+    return std::make_shared<PlanCache>();
+}
+
+} // namespace mcbp::accel

@@ -2,17 +2,49 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <deque>
+#include <limits>
 
 #include "accel/report.hpp"
 #include "common/logging.hpp"
 
 namespace mcbp::engine {
 
+std::string
+toString(StepMode mode)
+{
+    switch (mode) {
+    case StepMode::Auto:
+        return "auto";
+    case StepMode::Coalesced:
+        return "coalesced";
+    case StepMode::PerToken:
+        return "per-token";
+    }
+    return "unknown";
+}
+
+StepMode
+stepModeFromEnv()
+{
+    const char *env = std::getenv("MCBP_SERVING_STEP");
+    if (env == nullptr || *env == '\0')
+        return StepMode::Coalesced;
+    const std::string value(env);
+    if (value == "coalesced")
+        return StepMode::Coalesced;
+    if (value == "per-token")
+        return StepMode::PerToken;
+    fatal("MCBP_SERVING_STEP must be 'coalesced' or 'per-token', got '" +
+          value + "'");
+}
+
 EventCore::EventCore(const Scheduler &scheduler, std::size_t maxBatch,
-                     KvOptions kv, PrefillPricer repricer)
+                     KvOptions kv, PrefillPricer repricer, StepMode step)
     : scheduler_(&scheduler), maxBatch_(maxBatch), kv_(kv),
-      repricer_(std::move(repricer))
+      repricer_(std::move(repricer)),
+      step_(step == StepMode::Auto ? stepModeFromEnv() : step)
 {
     fatalIf(maxBatch_ == 0, "maxBatch must be positive");
     fatalIf(kv_.policy == KvPolicy::Paged && !repricer_,
@@ -25,6 +57,7 @@ EventCore::run(std::vector<CostedRequest> &requests) const
     EventStats stats;
     stats.completed.reserve(requests.size());
 
+    const bool coalesce = step_ == StepMode::Coalesced;
     const bool paged = kv_.policy == KvPolicy::Paged;
     const bool bounded = !kvUnbounded(kv_.capacityBytes);
     KvBlockManager pool(kv_);
@@ -92,6 +125,7 @@ EventCore::run(std::vector<CostedRequest> &requests) const
         stats.recomputedTokens += progress;
         ++c->preemptions;
         ++stats.preemptions;
+        stats.preemptionOrder.push_back(c->req->id);
         const PrefillPrice price =
             repricer_(*c, c->promptTokens + progress);
         c->prefillCycles = price.cycles;
@@ -108,6 +142,183 @@ EventCore::run(std::vector<CostedRequest> &requests) const
         while (next_arrival < order.size() &&
                requests[order[next_arrival]].arrivalCycles <= clock)
             waiting.push_back(&requests[order[next_arrival++]]);
+    };
+
+    // Growth-extra bytes of the next decode iteration with every
+    // residency advanced by @p ahead in-window iterations: zero away
+    // from block boundaries, whole blocks at a fill.
+    auto growth_extra = [&](std::size_t ahead) -> double {
+        double extra = 0.0;
+        for (const CostedRequest *c : active)
+            extra += pool.allocatedBytes(c->kvBytesPerToken,
+                                         resident_tokens(*c) + ahead +
+                                             1) -
+                     c->kvAllocatedBytes;
+        return extra;
+    };
+
+    // Iterations until the first active request fills a block and
+    // allocates, with every residency advanced by @p ahead in-window
+    // iterations: growth serves token resident+1, so a residency
+    // sitting exactly on a block boundary allocates on the very next
+    // token.
+    auto next_fill_in = [&](std::size_t ahead) -> std::size_t {
+        std::size_t fill_in = std::numeric_limits<std::size_t>::max();
+        for (const CostedRequest *c : active) {
+            const std::size_t rem =
+                (resident_tokens(*c) + ahead) % kv_.blockTokens;
+            fill_in =
+                std::min(fill_in, rem == 0 ? std::size_t{1}
+                                           : kv_.blockTokens - rem + 1);
+        }
+        return fill_in;
+    };
+
+    // Paged growth of a coalesced k-iteration window, walked in
+    // fill-to-fill segments so the window itself stays bounded only by
+    // the policy-independent events (completion, arrival, deferral):
+    //
+    //  - Strictly between block fills no request allocates (every
+    //    allocation delta is exactly zero), so no preemption can
+    //    trigger and only the needed-bytes ledger and the utilization
+    //    statistic advance. The per-token loop would sample
+    //    needed/used after each iteration with used constant and
+    //    needed growing by the batch's summed per-token bytes — an
+    //    arithmetic series, folded here in closed form.
+    //
+    //  - A fill iteration replays the reference growth verbatim: the
+    //    allocating adds and the per-iteration utilization sample. If
+    //    the batch's growth no longer fits (a preemption is due), the
+    //    window is truncated just before that iteration and the next
+    //    outer pass routes it through the reference path, so eviction
+    //    victims and their order match the per-token loop exactly.
+    //
+    // Pool occupancy only grows within the window and the batch/model
+    // are constant, so no admission can become possible mid-window
+    // and skipping the per-iteration admission retries stays
+    // behaviour-preserving. Peak fragmentation needs no extra
+    // samples: allocated - needed only shrinks between fills, and
+    // every allocating add() records its own peak.
+    //
+    // Returns the iterations actually grown (= the window's final k):
+    // a fill due on the first iteration has had its preemptions
+    // resolved by the caller before entry, so at least one iteration
+    // always survives.
+    auto grow_batch_coalesced = [&](std::size_t k) -> std::size_t {
+        std::size_t t = 0;
+        while (t < k) {
+            const std::size_t fill_in = next_fill_in(t);
+            const std::size_t seg = std::min(k - t, fill_in - 1);
+            if (seg > 0) {
+                // Fill-free segment: zero-delta allocations, closed-
+                // form utilization over seg iterations.
+                const double needed_start = pool.neededBytes();
+                double batch_bytes = 0.0;
+                for (CostedRequest *c : active) {
+                    const std::size_t tokens =
+                        resident_tokens(*c) + t + seg;
+                    const double alloc = pool.allocatedBytes(
+                        c->kvBytesPerToken, tokens);
+                    const double need = c->kvBytesPerToken *
+                                        static_cast<double>(tokens);
+                    pool.add(alloc - c->kvAllocatedBytes,
+                             need - c->kvNeededBytes);
+                    c->kvAllocatedBytes = alloc;
+                    c->kvNeededBytes = need;
+                    batch_bytes += c->kvBytesPerToken;
+                }
+                if (pool.usedBytes() > 0.0) {
+                    const double sd = static_cast<double>(seg);
+                    stats.kvBlockUtilizationSum +=
+                        (sd * needed_start +
+                         batch_bytes * sd * (sd + 1.0) / 2.0) /
+                        pool.usedBytes();
+                    stats.kvBlockUtilizationIters += seg;
+                }
+                t += seg;
+                continue;
+            }
+            // Fill at iteration t+1: the reference growth, except a
+            // due preemption truncates the window instead (the next
+            // outer pass resolves it at full per-token fidelity).
+            if (!pool.fits(growth_extra(t), /*admission=*/false) &&
+                active.size() > 1) {
+                panicIf(t == 0, "unresolved preemption at window start");
+                break;
+            }
+            for (CostedRequest *c : active) {
+                const std::size_t tokens = resident_tokens(*c) + t + 1;
+                const double alloc =
+                    pool.allocatedBytes(c->kvBytesPerToken, tokens);
+                const double need = c->kvBytesPerToken *
+                                    static_cast<double>(tokens);
+                pool.add(alloc - c->kvAllocatedBytes,
+                         need - c->kvNeededBytes);
+                c->kvAllocatedBytes = alloc;
+                c->kvNeededBytes = need;
+            }
+            if (pool.usedBytes() > 0.0) {
+                stats.kvBlockUtilizationSum +=
+                    pool.neededBytes() / pool.usedBytes();
+                ++stats.kvBlockUtilizationIters;
+            }
+            t += 1;
+        }
+        return t;
+    };
+
+    // Cost of one decode iteration over the current batch: the weight
+    // stream is fetched once for the whole batch (max, in cycles and
+    // in joules) and overlaps the batch's summed linear work;
+    // attention/SFU is per-request work on top.
+    struct IterCost
+    {
+        double cycles = 0.0;       ///< One decode iteration.
+        double weightJoules = 0.0; ///< Shared weight stream, per iter.
+    };
+    auto iter_cost = [&]() -> IterCost {
+        double weight_cycles = 0.0;
+        double linear_cycles = 0.0;
+        double other_cycles = 0.0;
+        double fixed_cycles = 0.0;
+        double weight_joules = 0.0;
+        double linear_max = 0.0;
+        double other_max = 0.0;
+        for (const CostedRequest *c : active) {
+            weight_cycles =
+                std::max(weight_cycles, c->weightCyclesPerToken);
+            weight_joules =
+                std::max(weight_joules, c->weightJoulesPerToken);
+            linear_cycles += c->linearCyclesPerToken;
+            other_cycles += c->otherCyclesPerToken;
+            linear_max = std::max(linear_max, c->linearCyclesPerToken);
+            other_max = std::max(other_max, c->otherCyclesPerToken);
+            // Hop-latency floor: every request's collective is the
+            // same collective, so the batch pays it once.
+            fixed_cycles =
+                std::max(fixed_cycles, c->fixedCyclesPerToken);
+        }
+        // Stage-aware costing: on a pipeline, distinct requests'
+        // traversals overlap across the stages, so the batch's summed
+        // work drains at the bottleneck stage (sum/stages) — but a
+        // single request can never finish faster than its own full
+        // traversal (the max). stages=1 reduces to the plain sum
+        // bit-for-bit (sum/1 == sum, and sum >= each element).
+        const double stages = static_cast<double>(
+            std::max<std::size_t>(1, active.front()->stages));
+        const double linear_batch =
+            std::max(linear_cycles / stages, linear_max);
+        const double other_batch =
+            std::max(other_cycles / stages, other_max);
+        // Everyone in the batch runs on the same accelerator, so the
+        // composition rule is uniform across the active set.
+        const double linear_segment = accel::composedLinearCycles(
+            weight_cycles, linear_batch,
+            active.front()->memorySerialized);
+        IterCost out;
+        out.cycles = linear_segment + fixed_cycles + other_batch;
+        out.weightJoules = weight_joules;
+        return out;
     };
 
     const std::size_t total = requests.size();
@@ -145,6 +356,7 @@ EventCore::run(std::vector<CostedRequest> &requests) const
         // under Paged. Each admission pays its prefill before joining
         // the batch.
         bool admitted_any = false;
+        bool deferred = false;
         while (!waiting.empty() && active.size() < maxBatch_) {
             // Refresh arrivals first: a prefill just paid advanced the
             // clock, and anything that arrived meanwhile must be
@@ -186,8 +398,15 @@ EventCore::run(std::vector<CostedRequest> &requests) const
             }
             const std::size_t pick =
                 scheduler_->pick(candidates, pressure);
-            if (pick == Scheduler::npos)
+            if (pick == Scheduler::npos) {
+                // npos with an admissible candidate is a live deferral
+                // the per-token loop would revisit after exactly one
+                // iteration: it pins the coalescing window to k = 1 so
+                // the scheduler is consulted on the same cadence.
+                for (const AdmissionCandidate &cand : candidates)
+                    deferred = deferred || cand.admissible;
                 break;
+            }
             panicIf(pick >= candidates.size() ||
                         !candidates[pick].admissible,
                     "scheduler picked an inadmissible request");
@@ -198,6 +417,7 @@ EventCore::run(std::vector<CostedRequest> &requests) const
                 c->admitted = true;
                 c->admissionCycles = clock; // First admission only:
             }                               // queue wait ends here.
+            stats.admissionOrder.push_back(c->req->id);
             if (paged) {
                 const std::size_t tokens = resident_tokens(*c);
                 const double alloc =
@@ -239,106 +459,104 @@ EventCore::run(std::vector<CostedRequest> &requests) const
             continue;
         }
 
-        // Paged growth: every active request appends this iteration's
-        // token to its KV, allocating a new block when the last one
-        // fills. While the pool cannot hold the batch's growth, evict
-        // the youngest running request; the footprint precheck above
-        // guarantees the oldest alone always fits, so this terminates
-        // with at least one survivor.
-        if (paged) {
-            for (;;) {
-                double extra = 0.0;
-                for (const CostedRequest *c : active)
-                    extra += pool.allocatedBytes(c->kvBytesPerToken,
-                                                 resident_tokens(*c) +
-                                                     1) -
-                             c->kvAllocatedBytes;
-                // A lone survivor always fits: the footprint precheck
-                // bounds its largest residency by the capacity (the
-                // fits() miss can only be the pool's FP residue).
-                if (pool.fits(extra, /*admission=*/false) ||
-                    active.size() == 1)
-                    break;
+        // ---- Select the iteration window --------------------------
+        // Between discrete events the active set and the iteration
+        // cost are constant, so k identical iterations advance in one
+        // closed-form step. Window bounds, each matching an event the
+        // per-token reference reacts to:
+        //  - the soonest completion (min remainingTokens) changes the
+        //    batch;
+        //  - a scheduler deferral is a live decision revisited every
+        //    iteration (k = 1, above);
+        //  - the next arrival changes the candidate set (bounded
+        //    below, once the iteration cost is known);
+        //  - a paged preemption changes the batch (grow_batch_
+        //    coalesced truncates the window just before one and the
+        //    next pass replays that iteration at per-token fidelity;
+        //    fills that fit are absorbed into the window, keeping the
+        //    window boundaries policy-independent whenever no
+        //    preemption triggers).
+        // Mid-window no admission can become possible: slots and the
+        // batch model are constant, and pool occupancy only grows
+        // (fills), so the admissible set can only shrink and skipping
+        // the per-iteration admission retries is behaviour-preserving.
+        // Paged: a block fill due on the window's very first iteration
+        // may preempt. Resolve that before costing — the per-token
+        // ordering (growth precedes the iteration's cost) — and pin
+        // the window to one iteration when a preemption fired, so the
+        // victim's re-admission is considered on the per-token
+        // cadence. Fills that fit never bound the window: they are
+        // absorbed below, keeping the window chunking independent of
+        // the KV policy whenever no preemption triggers.
+        bool preempted_now = false;
+        if (paged && next_fill_in(0) == 1) {
+            // A lone survivor always fits: the footprint precheck
+            // bounds its largest residency by the capacity (the
+            // fits() miss can only be the pool's FP residue).
+            while (!pool.fits(growth_extra(0), /*admission=*/false) &&
+                   active.size() > 1) {
                 preempt_youngest();
-            }
-            for (CostedRequest *c : active) {
-                const std::size_t tokens = resident_tokens(*c) + 1;
-                const double alloc =
-                    pool.allocatedBytes(c->kvBytesPerToken, tokens);
-                const double need = c->kvBytesPerToken *
-                                    static_cast<double>(tokens);
-                pool.add(alloc - c->kvAllocatedBytes,
-                         need - c->kvNeededBytes);
-                c->kvAllocatedBytes = alloc;
-                c->kvNeededBytes = need;
-            }
-            if (pool.usedBytes() > 0.0) {
-                stats.kvBlockUtilizationSum +=
-                    pool.neededBytes() / pool.usedBytes();
-                ++stats.kvBlockUtilizationIters;
+                preempted_now = true;
             }
         }
 
-        // One decode iteration: everyone advances one token. The weight
-        // stream is fetched once for the whole batch (max, in cycles
-        // and in joules) and overlaps the batch's summed linear work;
-        // attention/SFU is per-request work on top.
-        double weight_cycles = 0.0;
-        double linear_cycles = 0.0;
-        double other_cycles = 0.0;
-        double fixed_cycles = 0.0;
-        double weight_joules = 0.0;
-        double linear_max = 0.0;
-        double other_max = 0.0;
-        for (CostedRequest *c : active) {
-            weight_cycles =
-                std::max(weight_cycles, c->weightCyclesPerToken);
-            weight_joules =
-                std::max(weight_joules, c->weightJoulesPerToken);
-            linear_cycles += c->linearCyclesPerToken;
-            other_cycles += c->otherCyclesPerToken;
-            linear_max = std::max(linear_max, c->linearCyclesPerToken);
-            other_max = std::max(other_max, c->otherCyclesPerToken);
-            // Hop-latency floor: every request's collective is the
-            // same collective, so the batch pays it once.
-            fixed_cycles =
-                std::max(fixed_cycles, c->fixedCyclesPerToken);
+        std::size_t k = active.front()->remainingTokens;
+        for (const CostedRequest *c : active)
+            k = std::min(k, c->remainingTokens);
+        if (!coalesce || deferred || preempted_now)
+            k = 1;
+
+        IterCost cost = iter_cost();
+        if (k > 1 && next_arrival < order.size() && cost.cycles > 0.0) {
+            // Stop at the first iteration whose end reaches the next
+            // arrival: the per-token loop pulls it into the candidate
+            // set before the following iteration. The admission loop
+            // can leave an arrival already due (a prefill advanced
+            // the clock past it without a final pull); that pins the
+            // window to the per-token cadence of one iteration.
+            const double until =
+                requests[order[next_arrival]].arrivalCycles - clock;
+            if (until <= 0.0) {
+                k = 1;
+            } else {
+                const double ka = std::ceil(until / cost.cycles);
+                if (ka < static_cast<double>(k))
+                    k = std::max<std::size_t>(
+                        1, static_cast<std::size_t>(ka));
+            }
         }
-        // Stage-aware costing: on a pipeline, distinct requests'
-        // traversals overlap across the stages, so the batch's summed
-        // work drains at the bottleneck stage (sum/stages) — but a
-        // single request can never finish faster than its own full
-        // traversal (the max). stages=1 reduces to the plain sum
-        // bit-for-bit (sum/1 == sum, and sum >= each element).
-        const double stages = static_cast<double>(
-            std::max<std::size_t>(1, active.front()->stages));
-        const double linear_batch =
-            std::max(linear_cycles / stages, linear_max);
-        const double other_batch =
-            std::max(other_cycles / stages, other_max);
-        // Everyone in the batch runs on the same accelerator, so the
-        // composition rule is uniform across the active set.
-        const double linear_segment = accel::composedLinearCycles(
-            weight_cycles, linear_batch,
-            active.front()->memorySerialized);
-        const double iter_cycles =
-            linear_segment + fixed_cycles + other_batch;
-        clock += iter_cycles;
-        stats.busyCycles += iter_cycles;
-        stats.occupancySum += static_cast<double>(active.size());
+        if (paged)
+            k = grow_batch_coalesced(k);
+
+        // ---- Advance k identical iterations in closed form --------
+        // k == 1 reduces bit-exactly to the per-token reference
+        // (1.0 * x == x in IEEE arithmetic), so the per-token escape
+        // hatch and the boundary/deferral windows share this path
+        // unchanged.
+        const double kd = static_cast<double>(k);
+        const double window_start = clock;
+        clock += kd * cost.cycles;
+        stats.busyCycles += kd * cost.cycles;
+        stats.occupancySum += kd * static_cast<double>(active.size());
         stats.peakBatch = std::max(stats.peakBatch, active.size());
-        ++stats.iterations;
+        stats.iterations += k;
+        ++stats.decodeWindows;
 
         const double weight_joules_share =
-            weight_joules / static_cast<double>(active.size());
+            cost.weightJoules / static_cast<double>(active.size());
         for (auto it = active.begin(); it != active.end();) {
             CostedRequest *c = *it;
-            c->joules += c->otherJoulesPerToken + weight_joules_share;
+            c->joules +=
+                kd * (c->otherJoulesPerToken + weight_joules_share);
             if (!c->firstTokenSeen) {
                 c->firstTokenSeen = true;
-                c->firstTokenCycles = clock;
+                // End of the window's first iteration — exact for any
+                // k, since a request enters a window at most once
+                // without its first token.
+                c->firstTokenCycles = window_start + cost.cycles;
             }
-            if (--c->remainingTokens == 0) {
+            c->remainingTokens -= k;
+            if (c->remainingTokens == 0) {
                 finish(*c);
                 it = active.erase(it);
             } else {

@@ -31,6 +31,17 @@
  * Either way, in-flight KV never exceeds the configured capacity
  * (<= 0 = unbounded, the unified sentinel), and requests whose
  * decodeLen is 0 hold no KV at all.
+ *
+ * Stepping: between discrete events — the next arrival, the soonest
+ * completion in the batch (min remainingTokens), the next paged block
+ * boundary, a scheduler deferral — the active set and the per-iteration
+ * cost are constant, so the core advances k identical iterations in
+ * closed form (StepMode::Coalesced, the default) instead of looping
+ * per token. Scheduling decisions (admissions, preemption order,
+ * completion order) are exactly those of the per-token reference;
+ * aggregate cycle/energy totals agree to ~1e-9 relative (the closed
+ * forms re-associate floating-point sums). MCBP_SERVING_STEP=per-token
+ * selects the reference path at runtime.
  */
 #pragma once
 
@@ -41,14 +52,43 @@
 
 #include "engine/kv_block_manager.hpp"
 #include "engine/scheduler.hpp"
+#include "model/llm_config.hpp"
 #include "model/request.hpp"
 
 namespace mcbp::engine {
+
+/** Decode-iteration stepping strategy of the event core. */
+enum class StepMode
+{
+    Auto,      ///< Resolve from MCBP_SERVING_STEP (default: coalesced).
+    Coalesced, ///< Closed-form multi-iteration advance between events.
+    PerToken,  ///< One loop pass per decode token (reference path).
+};
+
+/** Canonical name, e.g. "coalesced", "per-token" ("auto" for Auto). */
+std::string toString(StepMode mode);
+
+/**
+ * StepMode selected by the MCBP_SERVING_STEP environment variable:
+ * "per-token" or "coalesced"; unset or empty means Coalesced.
+ * fatal() on any other value.
+ */
+StepMode stepModeFromEnv();
 
 /** Precomputed cost model of one request (from a batch-1 run). */
 struct CostedRequest
 {
     const model::Request *req = nullptr;
+    /** The request's model, resolved once at costing so the paged
+     *  re-pricer never re-scans the model zoo per preemption. */
+    const model::LlmConfig *model = nullptr;
+    /**
+     * The request's workload with decodeLen forced to 0: the recompute
+     * prefill shape, precomputed at costing so a preemption re-prices
+     * only the prefill it will actually replay (never the decode phase
+     * it throws away) and pays no findTask/withLengths rebuild.
+     */
+    model::Workload recomputeShape;
     double arrivalCycles = 0.0;
     /** Prefill cycles the next admission pays (re-priced to the
      *  recompute length after a preemption). */
@@ -109,7 +149,13 @@ struct EventStats
     double clockCycles = 0.0;   ///< Final clock (makespan).
     double busyCycles = 0.0;    ///< Engine-occupied cycles.
     double occupancySum = 0.0;  ///< Sum of batch sizes over iterations.
-    std::size_t iterations = 0; ///< Decode iterations executed.
+    std::size_t iterations = 0; ///< Decode iterations simulated.
+    /**
+     * Decode loop passes actually executed: equals iterations under
+     * per-token stepping, and the (much smaller) number of coalesced
+     * windows otherwise — the coalescing speedup is their ratio.
+     */
+    std::size_t decodeWindows = 0;
     std::size_t peakBatch = 0;
     double kvPeakBytes = 0.0;   ///< Peak in-flight KV residency.
     /** Paged policy: preempt-and-recompute counters. */
@@ -121,6 +167,15 @@ struct EventStats
      *  bytes (block fill), and the iterations counted. */
     double kvBlockUtilizationSum = 0.0;
     std::size_t kvBlockUtilizationIters = 0;
+    /**
+     * Every scheduling decision, as request ids in decision order:
+     * admissions (including re-admissions after preemption) and
+     * preemption victims. Coalescing contracts to reproduce these
+     * sequences exactly, so equivalence tests and the serving-speed
+     * gate compare them verbatim against the per-token reference.
+     */
+    std::vector<std::size_t> admissionOrder;
+    std::vector<std::size_t> preemptionOrder;
     /** Requests in completion order (admission/completion cycles set). */
     std::vector<CostedRequest *> completed;
 };
@@ -145,8 +200,10 @@ using PrefillPricer =
 class EventCore
 {
   public:
+    /** @p step Auto resolves MCBP_SERVING_STEP at construction. */
     EventCore(const Scheduler &scheduler, std::size_t maxBatch,
-              KvOptions kv, PrefillPricer repricer = nullptr);
+              KvOptions kv, PrefillPricer repricer = nullptr,
+              StepMode step = StepMode::Auto);
 
     /** Play @p requests to completion. */
     EventStats run(std::vector<CostedRequest> &requests) const;
@@ -156,6 +213,7 @@ class EventCore
     std::size_t maxBatch_;
     KvOptions kv_;
     PrefillPricer repricer_;
+    StepMode step_;
 };
 
 } // namespace mcbp::engine

@@ -93,7 +93,16 @@ struct KvOptions
 double kvFootprintBytes(const KvOptions &kv, double bytesPerToken,
                         std::size_t promptLen, std::size_t decodeLen);
 
-/** Block-granular KV pool ledger (single-threaded, deterministic). */
+/**
+ * Block-granular KV pool ledger (single-threaded, deterministic).
+ *
+ * Capacity decisions (fits()) read only the allocated-bytes ledger,
+ * which changes solely at block boundaries, admissions, preemptions
+ * and completions — the discrete events the serving core's coalesced
+ * stepping breaks its windows at. The needed-bytes ledger is
+ * statistics-only (fragmentation/utilization), so advancing it in a
+ * closed-form lump between boundaries can never flip a decision.
+ */
 class KvBlockManager
 {
   public:

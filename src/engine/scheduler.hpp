@@ -30,6 +30,17 @@
  * built-in policies admit whenever something is admissible; the event
  * core already enforces the paged low-watermark in the admissible
  * flag itself.
+ *
+ * Coalescing contract: a Scheduler must be stateless (pick() decides
+ * from its arguments alone — the class contract below). The event
+ * core's coalesced stepping relies on this to skip pick() calls whose
+ * candidate sets provably cannot have gained an admissible entry
+ * since the last decision (no arrival, completion, preemption or
+ * paged block allocation in between); a deferral (npos while a
+ * candidate is admissible) is a live decision, so the core re-asks on
+ * the per-token cadence in that case. A stateful scheduler that
+ * changes its answer with nothing but waitCycles aging would need
+ * MCBP_SERVING_STEP=per-token.
  */
 #pragma once
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <set>
+#include <utility>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "engine/event_core.hpp"
 
@@ -29,13 +32,167 @@ weightEnergyFraction(const accel::PhaseMetrics &decode)
     return std::clamp(frac, 0.0, 1.0);
 }
 
+/** A request's workload-shape key, for deduplicating warm-up entries
+ *  (the profile cache re-keys on its own dependencies afterwards). */
+std::string
+shapeKey(const model::Request &req)
+{
+    std::string key;
+    key.reserve(req.model.size() + req.task.size() + 16);
+    key += req.model;
+    key += '\x1f';
+    key += req.task;
+    key += '\x1f';
+    key += std::to_string(req.promptLen);
+    key += '\x1f';
+    key += std::to_string(req.decodeLen);
+    return key;
+}
+
 } // namespace
 
 ServingSimulator::ServingSimulator(const Accelerator &accel,
                                    ServingOptions opts)
-    : accel_(&accel), opts_(opts)
+    : accel_(&accel), opts_(opts),
+      planIdentity_(accel.name() + "\n" + accel.configSummary()),
+      planCache_(accel::makePlanCache())
 {
     // Option bounds are enforced by EventCore, which owns them.
+}
+
+KvOptions
+ServingSimulator::kvOptions() const
+{
+    KvOptions kv;
+    kv.policy = opts_.kvPolicy;
+    kv.capacityBytes = opts_.kvCapacityBytes;
+    kv.blockTokens = opts_.kvBlockTokens;
+    kv.lowWatermark = opts_.kvLowWatermark;
+    return kv;
+}
+
+ServingSimulator::CostedTrace
+ServingSimulator::costTrace(const std::vector<model::Request> &trace) const
+{
+    CostedTrace out;
+    if (trace.empty())
+        return out;
+
+    // ---- Warm the profile cache on all cores ----------------------------
+    // Without this, a cold cache would profile its first-touch keys on
+    // whichever costing thread hits them first. Announcing every
+    // distinct request shape up front lets the cache fan the distinct
+    // keys out over the thread pool (racing engines singleflight),
+    // leaving only cache hits in the costing fan-out below. Shapes are
+    // deduplicated here so a million-request trace announces a few
+    // hundred entries, not a million redundant ones.
+    if (const std::shared_ptr<accel::ProfileCache> cache =
+            accel_->profileCache()) {
+        std::vector<accel::ProfileRequest> requests;
+        std::set<std::string> shapes;
+        for (const model::Request &req : trace)
+            if (shapes.insert(shapeKey(req)).second)
+                accel_->profileRequests(model::findModel(req.model),
+                                        req.workload(), requests);
+        cache->warm(requests, opts_.profileThreads);
+    }
+
+    const KvOptions kv = kvOptions();
+    // Pipeline stage count for the decode iteration's stage-aware
+    // overlap (one accelerator serves the whole trace).
+    const std::size_t stages =
+        std::max<std::size_t>(1, accel_->capabilities().pipelineStages);
+
+    // ---- Cost each request with a batch-1 run ---------------------------
+    // The fan-out prices each request independently (distinct shapes
+    // compute once in the singleflight plan cache; repeats are hits)
+    // and the join below runs in index order, so every sum and check
+    // accumulates exactly as the serial loop did: the costed trace is
+    // bit-identical at every thread count.
+    struct Line
+    {
+        CostedRequest cost;
+        double seconds = 0.0;
+        double joules = 0.0;
+        double clockGhz = 0.0;
+    };
+    std::vector<Line> lines = parallel::parallelMap<Line>(
+        trace.size(),
+        [&](std::size_t i) {
+            const model::Request &req = trace[i];
+            const model::LlmConfig &m = model::findModel(req.model);
+            const model::Workload w = req.workload();
+            const accel::RunMetrics &rm = planCache_->metrics(
+                planIdentity_, m, w, [&] { return accel_->run(m, w); });
+
+            Line line;
+            line.seconds = rm.seconds();
+            line.joules = rm.joules();
+            line.clockGhz = rm.clockGhz;
+            CostedRequest &c = line.cost;
+            c.req = &req;
+            c.model = &m;
+            c.recomputeShape = w;
+            c.recomputeShape.decodeLen = 0;
+            c.stages = stages;
+            c.arrivalCycles = req.arrivalSeconds * rm.clockGhz * 1e9;
+            c.prefillCycles = rm.prefill.cycles;
+            // Largest-residency footprint, quantized by the KV policy:
+            // exact (prompt + decode) bytes under reserve, whole blocks
+            // under paged, 0 when no token is ever generated.
+            c.kvBytesPerToken =
+                static_cast<double>(m.kvBytesPerToken());
+            c.promptTokens = req.promptLen;
+            c.kvBytes = kvFootprintBytes(kv, c.kvBytesPerToken,
+                                         req.promptLen, req.decodeLen);
+            const double procs = static_cast<double>(rm.processors);
+            // Start from the prefill energy; decode energy accrues per
+            // served token with the weight stream amortized.
+            c.joules = rm.prefill.energy.totalPj() * 1e-12 * procs;
+            if (req.decodeLen > 0) {
+                const double steps =
+                    static_cast<double>(req.decodeLen);
+                // Raw streams let the scheduler re-compose the linear
+                // segment at the batch's size, inverting the model's
+                // own composition rule; the remainder (attention, SFU)
+                // is per-request work.
+                c.memorySerialized = rm.decode.memorySerialized;
+                c.weightCyclesPerToken =
+                    rm.decode.weightStreamCycles / steps;
+                c.linearCyclesPerToken =
+                    rm.decode.linearWorkCycles / steps;
+                const double linear_segment =
+                    accel::composedLinearCycles(
+                        rm.decode.weightStreamCycles,
+                        rm.decode.linearWorkCycles, c.memorySerialized);
+                c.fixedCyclesPerToken =
+                    rm.decode.fixedStepCycles / steps;
+                c.otherCyclesPerToken =
+                    std::max(0.0, rm.decode.cycles - linear_segment -
+                                      rm.decode.fixedStepCycles) /
+                    steps;
+                const double decode_joules =
+                    rm.decode.energy.totalPj() * 1e-12 * procs;
+                const double wf = weightEnergyFraction(rm.decode);
+                c.weightJoulesPerToken = decode_joules * wf / steps;
+                c.otherJoulesPerToken =
+                    decode_joules * (1.0 - wf) / steps;
+            }
+            c.remainingTokens = req.decodeLen;
+            return line;
+        },
+        opts_.costingThreads);
+
+    out.costs.reserve(lines.size());
+    for (Line &line : lines) {
+        fatalIf(out.clockGhz != 0.0 && line.clockGhz != out.clockGhz,
+                "accelerator changed clock between requests");
+        out.clockGhz = line.clockGhz;
+        out.serialSeconds += line.seconds;
+        out.serialJoules += line.joules;
+        out.costs.push_back(std::move(line.cost));
+    }
+    return out;
 }
 
 ServingReport
@@ -55,113 +212,39 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
     if (trace.empty())
         return report;
 
-    // ---- Warm the profile cache on all cores ----------------------------
-    // The costing loop below is serial; without this, a cold cache would
-    // profile its first-touch keys one by one. Announcing every request's
-    // needs up front lets the cache fan the distinct keys out over the
-    // thread pool (duplicates collapse inside warm, and racing engines
-    // singleflight), leaving only cheap cache hits in the serial loop.
-    if (const std::shared_ptr<accel::ProfileCache> cache =
-            accel_->profileCache()) {
-        std::vector<accel::ProfileRequest> requests;
-        for (const model::Request &req : trace)
-            accel_->profileRequests(model::findModel(req.model),
-                                    req.workload(), requests);
-        cache->warm(requests, opts_.profileThreads);
-    }
-
-    KvOptions kv;
-    kv.policy = opts_.kvPolicy;
-    kv.capacityBytes = opts_.kvCapacityBytes;
-    kv.blockTokens = opts_.kvBlockTokens;
-    kv.lowWatermark = opts_.kvLowWatermark;
-
-    // ---- Cost each request with a batch-1 run ---------------------------
-    // Pipeline stage count for the decode iteration's stage-aware
-    // overlap (one accelerator serves the whole trace).
-    const std::size_t stages =
-        std::max<std::size_t>(1, accel_->capabilities().pipelineStages);
-    double clock_ghz = 0.0;
-    std::vector<CostedRequest> costs;
-    costs.reserve(trace.size());
-    for (const model::Request &req : trace) {
-        const model::LlmConfig &m = model::findModel(req.model);
-        const accel::RunMetrics rm = accel_->run(m, req.workload());
-        fatalIf(clock_ghz != 0.0 && rm.clockGhz != clock_ghz,
-                "accelerator changed clock between requests");
-        clock_ghz = rm.clockGhz;
-
-        CostedRequest c;
-        c.req = &req;
-        c.stages = stages;
-        c.arrivalCycles = req.arrivalSeconds * clock_ghz * 1e9;
-        c.prefillCycles = rm.prefill.cycles;
-        // Largest-residency footprint, quantized by the KV policy:
-        // exact (prompt + decode) bytes under reserve, whole blocks
-        // under paged, 0 when no token is ever generated.
-        c.kvBytesPerToken = static_cast<double>(m.kvBytesPerToken());
-        c.promptTokens = req.promptLen;
-        c.kvBytes = kvFootprintBytes(kv, c.kvBytesPerToken,
-                                     req.promptLen, req.decodeLen);
-        const double procs = static_cast<double>(rm.processors);
-        // Start from the prefill energy; decode energy accrues per
-        // served token with the weight stream amortized.
-        c.joules = rm.prefill.energy.totalPj() * 1e-12 * procs;
-        if (req.decodeLen > 0) {
-            const double steps = static_cast<double>(req.decodeLen);
-            // Raw streams let the scheduler re-compose the linear
-            // segment at the batch's size, inverting the model's own
-            // composition rule; the remainder (attention, SFU) is
-            // per-request work.
-            c.memorySerialized = rm.decode.memorySerialized;
-            c.weightCyclesPerToken = rm.decode.weightStreamCycles / steps;
-            c.linearCyclesPerToken = rm.decode.linearWorkCycles / steps;
-            const double linear_segment = accel::composedLinearCycles(
-                rm.decode.weightStreamCycles,
-                rm.decode.linearWorkCycles, c.memorySerialized);
-            c.fixedCyclesPerToken = rm.decode.fixedStepCycles / steps;
-            c.otherCyclesPerToken =
-                std::max(0.0, rm.decode.cycles - linear_segment -
-                                  rm.decode.fixedStepCycles) /
-                steps;
-            const double decode_joules =
-                rm.decode.energy.totalPj() * 1e-12 * procs;
-            const double wf = weightEnergyFraction(rm.decode);
-            c.weightJoulesPerToken = decode_joules * wf / steps;
-            c.otherJoulesPerToken =
-                decode_joules * (1.0 - wf) / steps;
-        }
-        c.remainingTokens = req.decodeLen;
-        costs.push_back(c);
-        report.serialSeconds += rm.seconds();
-        report.serialJoules += rm.joules();
-    }
+    CostedTrace costed = costTrace(trace);
+    report.serialSeconds = costed.serialSeconds;
+    report.serialJoules = costed.serialJoules;
 
     // ---- Discrete-event loop under the selected policies ----------------
     // The paged policy re-prices a preempted request's recompute —
     // its prompt plus every generated token, replayed as one prefill
     // — through the accelerator's own prefill path, so recompute
     // cycles and energy follow the same model as first admission.
+    // The model and the prefill-only shape were resolved at costing,
+    // and the price goes through the plan cache: preemptions at the
+    // same resident length (recompute prices repeat heavily) compute
+    // once.
     PrefillPricer repricer;
     if (opts_.kvPolicy == KvPolicy::Paged)
         repricer = [this](const CostedRequest &c, std::size_t tokens) {
-            const model::LlmConfig &m = model::findModel(c.req->model);
-            model::Workload w = c.req->workload();
+            model::Workload w = c.recomputeShape;
             w.promptLen = tokens;
-            w.decodeLen = 0;
-            const accel::RunMetrics rm = accel_->run(m, w);
+            const accel::RunMetrics &rm = planCache_->metrics(
+                planIdentity_, *c.model, w,
+                [&] { return accel_->run(*c.model, w); });
             PrefillPrice price;
             price.cycles = rm.prefill.cycles;
             price.joules = rm.prefill.energy.totalPj() * 1e-12 *
                            static_cast<double>(rm.processors);
             return price;
         };
-    const EventCore core(*scheduler, opts_.maxBatch, kv,
-                         std::move(repricer));
-    const EventStats stats = core.run(costs);
+    const EventCore core(*scheduler, opts_.maxBatch, kvOptions(),
+                         std::move(repricer), opts_.stepMode);
+    EventStats stats = core.run(costed.costs);
 
     // ---- Aggregate ------------------------------------------------------
-    const double to_seconds = 1.0 / (clock_ghz * 1e9);
+    const double to_seconds = 1.0 / (costed.clockGhz * 1e9);
     report.requests.reserve(stats.completed.size());
     for (const CostedRequest *c : stats.completed) {
         RequestMetrics rmx;
@@ -196,6 +279,10 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
                   static_cast<double>(stats.kvBlockUtilizationIters)
             : 0.0;
     report.kvFragmentationPeakBytes = stats.kvFragmentationPeakBytes;
+    report.decodeIterations = stats.iterations;
+    report.decodeWindows = stats.decodeWindows;
+    report.admissionOrder = std::move(stats.admissionOrder);
+    report.preemptionOrder = std::move(stats.preemptionOrder);
 
     // Percentiles are only defined over completed requests; an empty
     // completion set (nothing ever admitted) keeps the zeroed report
@@ -205,15 +292,27 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
 
     std::vector<double> latencies;
     std::vector<double> queue_waits;
+    std::vector<double> first_tokens;
     latencies.reserve(report.requests.size());
     queue_waits.reserve(report.requests.size());
+    first_tokens.reserve(report.requests.size());
     double total_tokens = 0.0;
     double total_joules = 0.0;
+    double tpot_sum = 0.0;
+    std::size_t tpot_requests = 0;
     for (const RequestMetrics &r : report.requests) {
         latencies.push_back(r.latencySeconds());
         queue_waits.push_back(r.queueSeconds());
+        first_tokens.push_back(r.firstTokenSeconds - r.arrivalSeconds);
         total_tokens += static_cast<double>(r.decodeTokens);
         total_joules += r.joules;
+        // TPOT is the steady decode cadence, defined once a request
+        // has an inter-token gap to measure.
+        if (r.decodeTokens > 1) {
+            tpot_sum += (r.completionSeconds - r.firstTokenSeconds) /
+                        static_cast<double>(r.decodeTokens - 1);
+            ++tpot_requests;
+        }
     }
     report.meanLatencySeconds =
         std::accumulate(latencies.begin(), latencies.end(), 0.0) /
@@ -227,6 +326,14 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
     report.p50QueueSeconds = percentileSorted(queue_waits, 0.50);
     report.p90QueueSeconds = percentileSorted(queue_waits, 0.90);
     report.p99QueueSeconds = percentileSorted(queue_waits, 0.99);
+    std::sort(first_tokens.begin(), first_tokens.end());
+    report.p50FirstTokenSeconds = percentileSorted(first_tokens, 0.50);
+    report.p90FirstTokenSeconds = percentileSorted(first_tokens, 0.90);
+    report.p99FirstTokenSeconds = percentileSorted(first_tokens, 0.99);
+    report.meanTpotSeconds =
+        tpot_requests > 0
+            ? tpot_sum / static_cast<double>(tpot_requests)
+            : 0.0;
     report.tokensPerSecond = report.makespanSeconds > 0.0
                                  ? total_tokens / report.makespanSeconds
                                  : 0.0;

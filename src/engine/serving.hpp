@@ -57,7 +57,9 @@
 #include <string>
 #include <vector>
 
+#include "accel/plan_cache.hpp"
 #include "engine/accelerator.hpp"
+#include "engine/event_core.hpp"
 #include "engine/kv_block_manager.hpp"
 #include "engine/scheduler.hpp"
 #include "model/request.hpp"
@@ -100,6 +102,19 @@ struct ServingOptions
      * whole report — are bit-identical; this only changes wall-clock.
      */
     std::size_t profileThreads = 0;
+    /**
+     * Thread cap for the per-request costing fan-out itself (same
+     * semantics). Costing runs through a singleflight PlanCache and
+     * joins its results in index order, so the costed trace — and the
+     * whole report — is bit-identical at every thread count.
+     */
+    std::size_t costingThreads = 0;
+    /**
+     * Decode-iteration stepping of the event core: Auto resolves the
+     * MCBP_SERVING_STEP environment variable (default: coalesced).
+     * See event_core.hpp for the equivalence contract.
+     */
+    StepMode stepMode = StepMode::Auto;
 };
 
 /** Per-request outcome. */
@@ -165,6 +180,15 @@ struct ServingReport
     double p90QueueSeconds = 0.0;
     double p99QueueSeconds = 0.0;
 
+    /** Time-to-first-token (arrival -> end of the first decode step;
+     *  completion for prefill-only requests) percentiles. */
+    double p50FirstTokenSeconds = 0.0;
+    double p90FirstTokenSeconds = 0.0;
+    double p99FirstTokenSeconds = 0.0;
+    /** Mean time per output token after the first (over requests with
+     *  >= 2 decode tokens; 0 when none qualify). */
+    double meanTpotSeconds = 0.0;
+
     double tokensPerSecond = 0.0; ///< Generated tokens / makespan.
     double joulesPerToken = 0.0;
     double meanBatchOccupancy = 0.0; ///< Mean in-flight per iteration.
@@ -184,6 +208,17 @@ struct ServingReport
     double kvBlockUtilization = 0.0;
     /** Paged policy: peak internal fragmentation in bytes. */
     double kvFragmentationPeakBytes = 0.0;
+
+    /** Decode iterations simulated, and the decode loop passes that
+     *  actually executed (fewer under coalesced stepping — the ratio
+     *  is the coalescing win; see EventStats::decodeWindows). */
+    std::size_t decodeIterations = 0;
+    std::size_t decodeWindows = 0;
+    /** Scheduling decisions in decision order (request ids): what the
+     *  coalescing equivalence contract compares verbatim against the
+     *  per-token reference (see EventStats). */
+    std::vector<std::size_t> admissionOrder;
+    std::vector<std::size_t> preemptionOrder;
 
     /** Throughput gain of batching vs serving the trace serially. */
     double batchingSpeedup() const
@@ -206,9 +241,48 @@ class ServingSimulator
      */
     ServingReport simulate(const std::vector<model::Request> &trace) const;
 
+    /** The costing half of simulate(): every request priced from a
+     *  batch-1 run, plus the serial-baseline totals. */
+    struct CostedTrace
+    {
+        std::vector<CostedRequest> costs; ///< Trace order.
+        double clockGhz = 0.0;
+        /** Sum of the isolated single-request run times/energies. */
+        double serialSeconds = 0.0;
+        double serialJoules = 0.0;
+    };
+
+    /**
+     * Cost @p trace without simulating it: warm the profile cache
+     * (distinct shapes only), then price every request through the
+     * plan cache on up to ServingOptions::costingThreads threads. The
+     * result is bit-identical at every thread count (singleflight
+     * computes each distinct shape once; the join is in index order).
+     * Exposed so benches can time and verify costing in isolation;
+     * simulate() is exactly costTrace() + the event loop + aggregation.
+     */
+    CostedTrace costTrace(const std::vector<model::Request> &trace) const;
+
+    /**
+     * The folded-cost cache the costing loop and the paged recompute
+     * re-pricer share. Owned per simulator (keyed by accelerator
+     * identity, so sharing wider would also be sound); exposed for
+     * tests and cache-effectiveness reporting.
+     */
+    std::shared_ptr<accel::PlanCache> planCache() const
+    {
+        return planCache_;
+    }
+
   private:
+    KvOptions kvOptions() const;
+
     const Accelerator *accel_;
     ServingOptions opts_;
+    /** name + configSummary: every knob that changes pricing, the
+     *  plan-cache key prefix. */
+    std::string planIdentity_;
+    std::shared_ptr<accel::PlanCache> planCache_;
 };
 
 } // namespace mcbp::engine

@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 
@@ -289,7 +290,50 @@ TEST(Serving, EveryRequestCompletesMonotonically)
     EXPECT_GT(r.joulesPerToken, 0.0);
     EXPECT_LE(r.p50LatencySeconds, r.p90LatencySeconds);
     EXPECT_LE(r.p90LatencySeconds, r.p99LatencySeconds);
+    EXPECT_LE(r.p50FirstTokenSeconds, r.p90FirstTokenSeconds);
+    EXPECT_LE(r.p90FirstTokenSeconds, r.p99FirstTokenSeconds);
+    // TTFT sits between queueing and full latency at every percentile.
+    EXPECT_GE(r.p50FirstTokenSeconds, r.p50QueueSeconds);
+    EXPECT_LE(r.p99FirstTokenSeconds, r.p99LatencySeconds);
+    EXPECT_GT(r.meanTpotSeconds, 0.0);
     EXPECT_LE(static_cast<double>(r.peakBatch), 8.0);
+}
+
+TEST(Serving, TtftAndTpotAggregatesMatchPerRequestMetrics)
+{
+    Registry registry;
+    auto accel = registry.make("mcbp");
+    ServingSimulator sim(*accel, {8});
+    const ServingReport r = sim.simulate(smallTrace());
+
+    std::vector<double> ttft;
+    double tpot_sum = 0.0;
+    std::size_t tpot_n = 0;
+    for (const RequestMetrics &m : r.requests) {
+        EXPECT_GE(m.firstTokenSeconds, m.arrivalSeconds);
+        ttft.push_back(m.firstTokenSeconds - m.arrivalSeconds);
+        if (m.decodeTokens > 1) {
+            tpot_sum += (m.completionSeconds - m.firstTokenSeconds) /
+                        static_cast<double>(m.decodeTokens - 1);
+            ++tpot_n;
+        }
+    }
+    std::sort(ttft.begin(), ttft.end());
+    EXPECT_EQ(r.p50FirstTokenSeconds, percentileSorted(ttft, 0.50));
+    EXPECT_EQ(r.p90FirstTokenSeconds, percentileSorted(ttft, 0.90));
+    EXPECT_EQ(r.p99FirstTokenSeconds, percentileSorted(ttft, 0.99));
+    ASSERT_GT(tpot_n, 0u);
+    EXPECT_EQ(r.meanTpotSeconds,
+              tpot_sum / static_cast<double>(tpot_n));
+
+    // A pure-prefill request contributes its completion as TTFT and
+    // never contributes a TPOT sample.
+    auto trace = smallTrace(4);
+    for (auto &req : trace)
+        req.decodeLen = 0;
+    const ServingReport prefill_only = sim.simulate(trace);
+    EXPECT_EQ(prefill_only.meanTpotSeconds, 0.0);
+    EXPECT_GT(prefill_only.p50FirstTokenSeconds, 0.0);
 }
 
 TEST(Serving, BatchedBusyTimeNeverExceedsSerialSum)

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Coalesced-vs-per-token equivalence contract of the event core
+ * (event_core.hpp "Stepping"), over the full policy matrix
+ * {fifo, skip-ahead, shortest-prompt} x {reserve, paged} x
+ * {single chip, pp=2 x tp=2 cluster}:
+ *  - every scheduling decision — admission order (including
+ *    re-admissions), preemption victims, completion order — is
+ *    exactly the per-token reference's;
+ *  - aggregate times/energies agree to 1e-9 relative (the closed
+ *    forms only re-associate floating-point sums);
+ *  - coalescing actually coalesces (decodeWindows << decodeIterations)
+ *    and the per-token path remains one pass per iteration;
+ *  - MCBP_SERVING_STEP spelling is validated (fatal on junk).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/registry.hpp"
+#include "engine/serving.hpp"
+#include "model/request.hpp"
+
+namespace mcbp::engine {
+namespace {
+
+std::vector<model::Request>
+denseTrace(std::size_t n = 24)
+{
+    model::TraceConfig tc;
+    tc.model = "OPT1B3";
+    tc.task = "MBPP";
+    tc.requests = n;
+    tc.arrivalsPerSecond = 50.0;
+    tc.seed = 17;
+    return model::synthesizeTrace(tc);
+}
+
+void
+expectNear(double a, double b, const char *what)
+{
+    const double scale = std::max(std::abs(a), std::abs(b));
+    EXPECT_LE(std::abs(a - b), 1e-9 * std::max(scale, 1.0)) << what;
+}
+
+/** The full contract between a per-token and a coalesced run. */
+void
+expectEquivalent(const ServingReport &ref, const ServingReport &coal)
+{
+    // Decisions verbatim.
+    EXPECT_EQ(ref.admissionOrder, coal.admissionOrder);
+    EXPECT_EQ(ref.preemptionOrder, coal.preemptionOrder);
+    EXPECT_EQ(ref.preemptions, coal.preemptions);
+    EXPECT_EQ(ref.recomputedTokens, coal.recomputedTokens);
+    EXPECT_EQ(ref.peakBatch, coal.peakBatch);
+    EXPECT_EQ(ref.decodeIterations, coal.decodeIterations);
+    ASSERT_EQ(ref.requests.size(), coal.requests.size());
+    for (std::size_t i = 0; i < ref.requests.size(); ++i) {
+        EXPECT_EQ(ref.requests[i].id, coal.requests[i].id)
+            << "completion order diverged at " << i;
+        EXPECT_EQ(ref.requests[i].preemptions,
+                  coal.requests[i].preemptions);
+        expectNear(ref.requests[i].completionSeconds,
+                   coal.requests[i].completionSeconds, "completion");
+        expectNear(ref.requests[i].firstTokenSeconds,
+                   coal.requests[i].firstTokenSeconds, "first token");
+        expectNear(ref.requests[i].joules, coal.requests[i].joules,
+                   "request joules");
+        expectNear(ref.requests[i].admissionSeconds,
+                   coal.requests[i].admissionSeconds, "admission");
+    }
+    // Aggregates to 1e-9 relative.
+    expectNear(ref.busySeconds, coal.busySeconds, "busy");
+    expectNear(ref.makespanSeconds, coal.makespanSeconds, "makespan");
+    expectNear(ref.serialSeconds, coal.serialSeconds, "serial");
+    expectNear(ref.joulesPerToken, coal.joulesPerToken, "J/token");
+    expectNear(ref.meanTpotSeconds, coal.meanTpotSeconds, "TPOT");
+    expectNear(ref.p99FirstTokenSeconds, coal.p99FirstTokenSeconds,
+               "p99 TTFT");
+    expectNear(ref.kvPeakBytes, coal.kvPeakBytes, "kv peak");
+}
+
+TEST(EventEquivalence, CoalescedMatchesPerTokenAcrossPolicyMatrix)
+{
+    const auto trace = denseTrace();
+    Registry registry;
+    for (const char *spec : {"mcbp", "mcbp:pp=2,tp=2"}) {
+        auto accel = registry.make(spec);
+        for (SchedulerPolicy policy : allSchedulerPolicies()) {
+            for (KvPolicy kv : allKvPolicies()) {
+                ServingOptions opts;
+                opts.maxBatch = 8;
+                opts.policy = policy;
+                opts.kvPolicy = kv;
+                if (kv == KvPolicy::Paged) {
+                    // Size the pool off an unbounded probe so the
+                    // paged leg actually preempts and recomputes.
+                    ServingOptions probe = opts;
+                    probe.kvCapacityBytes = 0.0;
+                    opts.kvCapacityBytes =
+                        ServingSimulator(*accel, probe)
+                            .simulate(trace)
+                            .kvPeakBytes /
+                        4.0;
+                }
+                ServingOptions ref = opts;
+                ref.stepMode = StepMode::PerToken;
+                ServingOptions coal = opts;
+                coal.stepMode = StepMode::Coalesced;
+                const ServingReport a =
+                    ServingSimulator(*accel, ref).simulate(trace);
+                const ServingReport b =
+                    ServingSimulator(*accel, coal).simulate(trace);
+                SCOPED_TRACE(std::string(spec) + " / " +
+                             toString(policy) + " / " + toString(kv));
+                if (kv == KvPolicy::Paged)
+                    EXPECT_GT(b.preemptions, 0u);
+                // Per-token runs one loop pass per iteration; the
+                // coalesced run folds them into far fewer windows.
+                EXPECT_EQ(a.decodeWindows, a.decodeIterations);
+                EXPECT_LT(b.decodeWindows, b.decodeIterations);
+                expectEquivalent(a, b);
+            }
+        }
+    }
+}
+
+TEST(EventEquivalence, StepModeSpellingsAndEnvValidation)
+{
+    EXPECT_EQ(toString(StepMode::Coalesced), "coalesced");
+    EXPECT_EQ(toString(StepMode::PerToken), "per-token");
+
+    // Env resolution: unset/empty -> coalesced; junk is fatal.
+    unsetenv("MCBP_SERVING_STEP");
+    EXPECT_EQ(stepModeFromEnv(), StepMode::Coalesced);
+    setenv("MCBP_SERVING_STEP", "", 1);
+    EXPECT_EQ(stepModeFromEnv(), StepMode::Coalesced);
+    setenv("MCBP_SERVING_STEP", "per-token", 1);
+    EXPECT_EQ(stepModeFromEnv(), StepMode::PerToken);
+    setenv("MCBP_SERVING_STEP", "coalesced", 1);
+    EXPECT_EQ(stepModeFromEnv(), StepMode::Coalesced);
+    setenv("MCBP_SERVING_STEP", "warp-speed", 1);
+    EXPECT_THROW((void)stepModeFromEnv(), std::runtime_error);
+    unsetenv("MCBP_SERVING_STEP");
+}
+
+} // namespace
+} // namespace mcbp::engine
