@@ -262,7 +262,24 @@ appendServingFields(JsonRecords &json, const engine::ServingReport &r)
         .field("kv_block_utilization", r.kvBlockUtilization)
         .field("kv_fragmentation_peak_bytes",
                r.kvFragmentationPeakBytes)
-        .field("batching_speedup", r.batchingSpeedup());
+        .field("batching_speedup", r.batchingSpeedup())
+        // Availability (fault injection; all zero on zero-fault runs).
+        .field("goodput_tok_s", r.goodputTokensPerSecond)
+        .field("slo_attainment", r.sloAttainment)
+        .field("fault_events", static_cast<double>(r.faultEvents))
+        .field("killed_in_flight",
+               static_cast<double>(r.killedInFlight))
+        .field("retries_scheduled",
+               static_cast<double>(r.retriesScheduled))
+        .field("dropped_requests",
+               static_cast<double>(r.droppedRequests))
+        .field("fault_lost_tokens",
+               static_cast<double>(r.faultLostTokens))
+        .field("fault_recompute_s", r.faultRecomputeSeconds)
+        .field("degraded_s", r.degradedSeconds)
+        .field("outage_s", r.outageSeconds)
+        .field("degraded_fraction", r.degradedFraction)
+        .field("no_completions", r.noCompletions ? 1.0 : 0.0);
 }
 
 } // namespace mcbp::bench

@@ -20,8 +20,10 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "engine/health.hpp"
 #include "engine/registry.hpp"
 #include "engine/serving.hpp"
+#include "sim/fault_model.hpp"
 
 using namespace mcbp;
 
@@ -193,6 +195,57 @@ main(int argc, char **argv)
         opts.kvPolicy = engine::KvPolicy::Paged;
         engine::ServingSimulator sim(*tp4, opts);
         report(sim.simulate(trace), "kv=paged,tp=4", t, json);
+    }
+
+    // --- Fault injection: retries, failover, SLOs ------------------------
+    // A tp=2 group under transient chip failures: each failure kills
+    // the in-flight batch (lost tokens recompute on retry with capped
+    // exponential backoff) and the group re-forms at tp=1 — the
+    // degraded topology from engine/health.hpp — until the repair
+    // lands. Requests carry a completion deadline; work still queued
+    // past it is dropped, and goodput counts only SLO-compliant
+    // tokens.
+    {
+        const std::string spec = "mcbp:procs=148,tp=2";
+        auto group = registry.make(spec);
+        auto degraded = registry.make(engine::degradedSpec(spec));
+        engine::ServingOptions opts;
+        opts.maxBatch = 32;
+        opts.faults.seed = tc.seed; // stream-separated from the trace
+        opts.faults.mtbfSeconds = 1.5;
+        opts.faults.repairSeconds = 0.3;
+        opts.faults.permanentFraction = 0.0;
+        opts.faults.horizonSeconds = 30.0;
+        opts.degradedAccel = degraded.get();
+        opts.retry.maxRetries = 5;
+        opts.retry.backoffBaseSeconds = 0.02;
+        opts.retry.backoffCapSeconds = 0.5;
+        opts.retry.deadlineSeconds = 20.0;
+        engine::ServingSimulator sim(*group, opts);
+        const engine::ServingReport r = sim.simulate(trace);
+        report(r, "tp=2,faults,mtbf=1.5s", t, json);
+        std::cout << "\nFault injection (tp=2, MTBF 1.5 s, repair 0.3 "
+                     "s, deadline 20 s):\n  "
+                  << r.faultEvents << " fault events, "
+                  << r.killedInFlight << " in-flight kills, "
+                  << r.retriesScheduled << " retries, "
+                  << r.droppedRequests << " drops, "
+                  << r.faultLostTokens << " lost tokens ("
+                  << fmt(r.faultRecomputeSeconds, 3)
+                  << " s recomputing)\n  degraded "
+                  << fmt(r.degradedSeconds, 3) << " s ("
+                  << fmtPct(r.degradedFraction) << " of the run), outage "
+                  << fmt(r.outageSeconds, 3) << " s\n  goodput "
+                  << fmt(r.goodputTokensPerSecond, 0)
+                  << " tok/s under the SLO, attainment "
+                  << fmtPct(r.sloAttainment) << "\n";
+        for (const engine::ServingReport::FaultImpact &f : r.faultLog)
+            std::cout << "  [fault " << f.eventId << "] t="
+                      << fmt(f.seconds, 3) << "s " << f.kind
+                      << " chip=" << f.chip
+                      << (f.permanent ? " (permanent)" : "")
+                      << ": killed " << f.killed << ", dropped "
+                      << f.dropped << "\n";
     }
 
     std::cout << "\nServing the trace (continuous batching):\n";

@@ -41,14 +41,25 @@ stepModeFromEnv()
 }
 
 EventCore::EventCore(const Scheduler &scheduler, std::size_t maxBatch,
-                     KvOptions kv, PrefillPricer repricer, StepMode step)
+                     KvOptions kv, PrefillPricer repricer, StepMode step,
+                     FaultInputs faults, PrefillPricer degradedRepricer)
     : scheduler_(&scheduler), maxBatch_(maxBatch), kv_(kv),
       repricer_(std::move(repricer)),
-      step_(step == StepMode::Auto ? stepModeFromEnv() : step)
+      step_(step == StepMode::Auto ? stepModeFromEnv() : step),
+      faults_(std::move(faults)),
+      degradedRepricer_(std::move(degradedRepricer))
 {
     fatalIf(maxBatch_ == 0, "maxBatch must be positive");
     fatalIf(kv_.policy == KvPolicy::Paged && !repricer_,
             "paged KV needs a prefill re-pricer for recompute");
+    fatalIf(faults_.enabled && kv_.policy == KvPolicy::Paged &&
+                faults_.hasDegraded && !degradedRepricer_,
+            "degraded-mode paged serving needs a degraded prefill "
+            "re-pricer so preemptions keep both prices fresh");
+    if (faults_.enabled)
+        for (std::size_t i = 1; i < faults_.timeline.size(); ++i)
+            fatalIf(faults_.timeline[i - 1].at > faults_.timeline[i].at,
+                    "fault timeline must be sorted by time");
 }
 
 EventStats
@@ -86,6 +97,41 @@ EventCore::run(std::vector<CostedRequest> &requests) const
     std::deque<CostedRequest *> waiting;
     std::vector<CostedRequest *> active; // Admission order.
     std::vector<AdmissionCandidate> candidates;
+
+    // ---- Fault state (inert when faults are off) -----------------------
+    const bool faulty = faults_.enabled;
+    const std::vector<sim::FaultEvent> &timeline = faults_.timeline;
+    std::size_t next_fault = 0;
+    bool dead = false;           // Fleet lost beyond any replan.
+    bool permanent_down = false; // A permanent chip failure happened.
+    std::size_t chips_down = 0;  // Transient failures under repair.
+    bool degraded_mode = false;  // Decode at degraded-topology rates.
+    double outage_until = 0.0;   // No replan available: down to repair.
+    std::vector<double> link_factors;  // Active bandwidth multipliers.
+    std::vector<double> stall_factors; // Active straggler slowdowns.
+    double link_scale = 1.0;  // Product of 1/factor (>= 1 slowdown).
+    double stall_scale = 1.0; // Product of slowdowns (>= 1).
+    std::vector<CostedRequest *> retrying; // Backoff queue.
+
+    if (faulty && faults_.deadlineCycles > 0.0)
+        for (CostedRequest &c : requests)
+            c.deadlineCycles = c.arrivalCycles + faults_.deadlineCycles;
+
+    // Clock advancement attributing degraded time. The arithmetic is
+    // the zero-fault engine's plain `clock += delta` / `clock = to`,
+    // so disabled faults change no bit of the result.
+    auto advance = [&](double delta) {
+        clock += delta;
+        if (degraded_mode)
+            stats.degradedCycles += delta;
+    };
+    auto jump_to = [&](double to) {
+        if (to <= clock)
+            return;
+        if (degraded_mode)
+            stats.degradedCycles += to - clock;
+        clock = to;
+    };
 
     // Tokens of c's KV resident after a (re)prefill: the prompt plus
     // whatever decode progress a recompute restores. Prefill-only
@@ -132,7 +178,17 @@ EventCore::run(std::vector<CostedRequest> &requests) const
         // The recompute's energy is genuinely spent on top of whatever
         // the request already burned; charge it now (the re-admission
         // always happens — the loop runs the trace to completion).
-        c->joules += price.joules;
+        double joules = price.joules;
+        if (faulty && faults_.hasDegraded) {
+            // Keep the degraded prefill price as fresh as the healthy
+            // one, and charge the mode the recompute actually runs in.
+            const PrefillPrice deg =
+                degradedRepricer_(*c, c->promptTokens + progress);
+            c->prefillCyclesDeg = deg.cycles;
+            if (degraded_mode)
+                joules = deg.joules;
+        }
+        c->joules += joules;
         waiting.push_front(c);
     };
 
@@ -142,6 +198,196 @@ EventCore::run(std::vector<CostedRequest> &requests) const
         while (next_arrival < order.size() &&
                requests[order[next_arrival]].arrivalCycles <= clock)
             waiting.push_back(&requests[order[next_arrival++]]);
+    };
+
+    auto drop_request = [&](CostedRequest *c,
+                            EventStats::FaultImpact *impact) {
+        panicIf(c->dropped, "request dropped twice");
+        c->dropped = true;
+        ++stats.droppedRequests;
+        stats.dropOrder.push_back(c->req->id);
+        if (impact != nullptr)
+            ++impact->dropped;
+    };
+
+    // Kill every in-flight request: free its KV, void its decode
+    // progress, re-arm the full-prompt restart prefill, and either
+    // schedule a backoff retry or drop it (retry budget exhausted,
+    // deadline passed, or the fleet is dead). Active order is
+    // admission order, so the retry queue and the decision logs are
+    // deterministic and step-mode independent.
+    auto kill_active = [&](EventStats::FaultImpact &impact) {
+        for (CostedRequest *c : active) {
+            if (paged) {
+                pool.remove(c->kvAllocatedBytes, c->kvNeededBytes);
+                c->kvAllocatedBytes = 0.0;
+                c->kvNeededBytes = 0.0;
+            } else {
+                kv_in_use -= c->kvBytes;
+            }
+            const std::size_t progress =
+                c->req->decodeLen - c->remainingTokens;
+            stats.faultLostTokens += progress;
+            c->remainingTokens = c->req->decodeLen;
+            c->firstTokenSeen = false;
+            c->prefillCycles = c->basePrefillCycles;
+            c->prefillCyclesDeg = c->basePrefillCyclesDeg;
+            c->pendingPrefillJoules = c->basePrefillJoules;
+            c->pendingPrefillJoulesDeg = c->basePrefillJoulesDeg;
+            c->restartPending = true;
+            ++stats.killedInFlight;
+            ++impact.killed;
+            ++c->retries;
+            if (dead || c->retries > faults_.maxRetries ||
+                (c->deadlineCycles > 0.0 &&
+                 clock >= c->deadlineCycles)) {
+                drop_request(c, &impact);
+            } else {
+                const double backoff = std::min(
+                    faults_.backoffCapCycles,
+                    faults_.backoffBaseCycles *
+                        std::pow(2.0,
+                                 static_cast<double>(c->retries - 1)));
+                c->retryAtCycles = clock + backoff;
+                retrying.push_back(c);
+                ++stats.retriesScheduled;
+                stats.retryOrder.push_back(c->req->id);
+            }
+        }
+        active.clear();
+    };
+
+    // A dead fleet serves nothing more: drop the queue, the retry
+    // backlog, and every not-yet-arrived request.
+    auto drop_all_pending = [&](EventStats::FaultImpact &impact) {
+        for (CostedRequest *c : waiting)
+            drop_request(c, &impact);
+        waiting.clear();
+        for (CostedRequest *c : retrying)
+            drop_request(c, &impact);
+        retrying.clear();
+        while (next_arrival < order.size())
+            drop_request(&requests[order[next_arrival++]], &impact);
+    };
+
+    // Scale products are recomputed from scratch at every window edge
+    // so the no-window state is exactly 1.0 (not a rounded quotient).
+    auto recompute_scales = [&] {
+        link_scale = 1.0;
+        for (double f : link_factors)
+            link_scale *= 1.0 / f;
+        stall_scale = 1.0;
+        for (double f : stall_factors)
+            stall_scale *= f;
+    };
+    auto erase_factor = [](std::vector<double> &factors, double f) {
+        const auto it = std::find(factors.begin(), factors.end(), f);
+        if (it != factors.end())
+            factors.erase(it);
+    };
+
+    // Process every fault event due by the current clock, in timeline
+    // order. Coalesced windows never cross the next event (bounded in
+    // the window selection below), so both step modes observe each
+    // event at the same clock with the same engine state.
+    auto process_faults = [&] {
+        while (next_fault < timeline.size() &&
+               timeline[next_fault].at <= clock) {
+            const sim::FaultEvent &e = timeline[next_fault++];
+            ++stats.faultEvents;
+            EventStats::FaultImpact impact;
+            impact.eventId = e.id;
+            impact.atCycles = e.at;
+            impact.kind = e.kind;
+            impact.chip = e.chip;
+            impact.permanent = e.permanent;
+            switch (e.kind) {
+            case sim::FaultKind::ChipFail:
+                if (e.permanent) {
+                    // The degraded replan absorbs one permanent loss;
+                    // a second one (or any loss on a fleet without a
+                    // degraded plan) is fatal.
+                    if (!faults_.hasDegraded || permanent_down)
+                        dead = true;
+                    permanent_down = true;
+                } else {
+                    ++chips_down;
+                    // Nothing to replan onto: the fleet is an outage
+                    // until this chip's repair lands.
+                    if (!faults_.hasDegraded || permanent_down)
+                        outage_until =
+                            std::max(outage_until, e.repairAt);
+                }
+                degraded_mode = faults_.hasDegraded && !dead &&
+                                (permanent_down || chips_down > 0);
+                kill_active(impact);
+                if (dead)
+                    drop_all_pending(impact);
+                break;
+            case sim::FaultKind::ChipRepair:
+                if (chips_down > 0)
+                    --chips_down;
+                degraded_mode = faults_.hasDegraded && !dead &&
+                                (permanent_down || chips_down > 0);
+                break;
+            case sim::FaultKind::LinkDegrade:
+                link_factors.push_back(e.factor);
+                recompute_scales();
+                break;
+            case sim::FaultKind::LinkRestore:
+                erase_factor(link_factors, e.factor);
+                recompute_scales();
+                break;
+            case sim::FaultKind::StragglerStart:
+                stall_factors.push_back(e.factor);
+                recompute_scales();
+                break;
+            case sim::FaultKind::StragglerEnd:
+                erase_factor(stall_factors, e.factor);
+                recompute_scales();
+                break;
+            }
+            stats.faultLog.push_back(impact);
+        }
+    };
+
+    // Move every retry whose backoff expired into the waiting queue
+    // (at the tail, behind already-queued arrivals), earliest expiry
+    // first; a retry already past its deadline drops instead.
+    auto pull_retries = [&] {
+        if (retrying.empty())
+            return;
+        std::stable_sort(retrying.begin(), retrying.end(),
+                         [](const CostedRequest *a,
+                            const CostedRequest *b) {
+                             return a->retryAtCycles < b->retryAtCycles;
+                         });
+        while (!retrying.empty() &&
+               retrying.front()->retryAtCycles <= clock) {
+            CostedRequest *c = retrying.front();
+            retrying.erase(retrying.begin());
+            if (c->deadlineCycles > 0.0 && clock >= c->deadlineCycles)
+                drop_request(c, nullptr);
+            else
+                waiting.push_back(c);
+        }
+    };
+
+    // Drop queued requests past their deadline, in queue order. Active
+    // requests are exempt: a decoding request runs to completion and
+    // merely misses its SLO.
+    auto drop_expired_waiting = [&] {
+        if (faults_.deadlineCycles <= 0.0)
+            return;
+        for (auto it = waiting.begin(); it != waiting.end();) {
+            CostedRequest *c = *it;
+            if (c->deadlineCycles > 0.0 && clock >= c->deadlineCycles) {
+                drop_request(c, nullptr);
+                it = waiting.erase(it);
+            } else {
+                ++it;
+            }
+        }
     };
 
     // Growth-extra bytes of the next decode iteration with every
@@ -284,19 +530,29 @@ EventCore::run(std::vector<CostedRequest> &requests) const
         double weight_joules = 0.0;
         double linear_max = 0.0;
         double other_max = 0.0;
+        // Degraded mode swaps every per-token price for its degraded-
+        // topology twin; the composition below is otherwise identical.
+        const bool dm = degraded_mode;
         for (const CostedRequest *c : active) {
-            weight_cycles =
-                std::max(weight_cycles, c->weightCyclesPerToken);
-            weight_joules =
-                std::max(weight_joules, c->weightJoulesPerToken);
-            linear_cycles += c->linearCyclesPerToken;
-            other_cycles += c->otherCyclesPerToken;
-            linear_max = std::max(linear_max, c->linearCyclesPerToken);
-            other_max = std::max(other_max, c->otherCyclesPerToken);
+            const double wc = dm ? c->weightCyclesPerTokenDeg
+                                 : c->weightCyclesPerToken;
+            const double wj = dm ? c->weightJoulesPerTokenDeg
+                                 : c->weightJoulesPerToken;
+            const double lc = dm ? c->linearCyclesPerTokenDeg
+                                 : c->linearCyclesPerToken;
+            const double oc = dm ? c->otherCyclesPerTokenDeg
+                                 : c->otherCyclesPerToken;
+            weight_cycles = std::max(weight_cycles, wc);
+            weight_joules = std::max(weight_joules, wj);
+            linear_cycles += lc;
+            other_cycles += oc;
+            linear_max = std::max(linear_max, lc);
+            other_max = std::max(other_max, oc);
             // Hop-latency floor: every request's collective is the
             // same collective, so the batch pays it once.
             fixed_cycles =
-                std::max(fixed_cycles, c->fixedCyclesPerToken);
+                std::max(fixed_cycles, dm ? c->fixedCyclesPerTokenDeg
+                                          : c->fixedCyclesPerToken);
         }
         // Stage-aware costing: on a pipeline, distinct requests'
         // traversals overlap across the stages, so the batch's summed
@@ -304,8 +560,8 @@ EventCore::run(std::vector<CostedRequest> &requests) const
         // single request can never finish faster than its own full
         // traversal (the max). stages=1 reduces to the plain sum
         // bit-for-bit (sum/1 == sum, and sum >= each element).
-        const double stages = static_cast<double>(
-            std::max<std::size_t>(1, active.front()->stages));
+        const double stages = static_cast<double>(std::max<std::size_t>(
+            1, dm ? active.front()->stagesDeg : active.front()->stages));
         const double linear_batch =
             std::max(linear_cycles / stages, linear_max);
         const double other_batch =
@@ -314,15 +570,22 @@ EventCore::run(std::vector<CostedRequest> &requests) const
         // composition rule is uniform across the active set.
         const double linear_segment = accel::composedLinearCycles(
             weight_cycles, linear_batch,
-            active.front()->memorySerialized);
+            dm ? active.front()->memorySerializedDeg
+               : active.front()->memorySerialized);
         IterCost out;
-        out.cycles = linear_segment + fixed_cycles + other_batch;
+        // A degraded link stretches the collective floor; a straggler
+        // stretches the whole iteration. Both scale products are
+        // exactly 1.0 with no active fault window, and x * 1.0 == x in
+        // IEEE arithmetic, so zero-fault iterations are bit-identical.
+        out.cycles =
+            (linear_segment + fixed_cycles * link_scale + other_batch) *
+            stall_scale;
         out.weightJoules = weight_joules;
         return out;
     };
 
     const std::size_t total = requests.size();
-    while (stats.completed.size() < total) {
+    while (stats.completed.size() + stats.droppedRequests < total) {
         // An idle engine holds no KV. Assert that (a drift beyond any
         // FP residue means a reservation leaked), then clear the
         // residue so exact-capacity admission can never stall on one.
@@ -337,13 +600,45 @@ EventCore::run(std::vector<CostedRequest> &requests) const
             }
         }
 
-        pull_arrivals();
+        if (faulty) {
+            process_faults();
+            // Outage (a transient failure with nothing to replan
+            // onto): no decode and no admission until the repair, or
+            // until the next fault event — processed at its own
+            // instant so overlapping events stack correctly.
+            if (!dead && clock < outage_until) {
+                double wake = outage_until;
+                if (next_fault < timeline.size())
+                    wake = std::min(wake, timeline[next_fault].at);
+                stats.outageCycles += wake - clock;
+                clock = wake; // Outage time is not degraded time.
+                continue;
+            }
+        }
 
-        // Idle engine: jump to the next arrival.
+        pull_arrivals();
+        if (faulty) {
+            pull_retries();
+            drop_expired_waiting();
+            if (stats.completed.size() + stats.droppedRequests == total)
+                break;
+        }
+
+        // Idle engine: jump to the next wake-up — the next arrival,
+        // and under faults the earliest retry expiry or fault event.
         if (active.empty() && waiting.empty()) {
-            panicIf(next_arrival >= order.size(),
+            double wake = std::numeric_limits<double>::infinity();
+            if (next_arrival < order.size())
+                wake = requests[order[next_arrival]].arrivalCycles;
+            if (faulty) {
+                for (const CostedRequest *c : retrying)
+                    wake = std::min(wake, c->retryAtCycles);
+                if (next_fault < timeline.size())
+                    wake = std::min(wake, timeline[next_fault].at);
+            }
+            panicIf(!std::isfinite(wake),
                     "serving scheduler stalled with requests pending");
-            clock = requests[order[next_arrival]].arrivalCycles;
+            jump_to(wake);
             continue;
         }
 
@@ -363,6 +658,12 @@ EventCore::run(std::vector<CostedRequest> &requests) const
             // visible to order-sensitive policies (SJF, skip-ahead).
             // FIFO is unaffected — late arrivals only join the tail.
             pull_arrivals();
+            if (faulty) {
+                pull_retries();
+                drop_expired_waiting();
+                if (waiting.empty())
+                    break;
+            }
             const std::string *batch_model =
                 active.empty() ? nullptr : &active.front()->req->model;
             candidates.clear();
@@ -372,7 +673,8 @@ EventCore::run(std::vector<CostedRequest> &requests) const
                 cand.promptLen = c->req->promptLen;
                 cand.decodeLen = c->req->decodeLen;
                 cand.waitCycles = clock - c->arrivalCycles;
-                cand.prefillCycles = c->prefillCycles;
+                cand.prefillCycles = degraded_mode ? c->prefillCyclesDeg
+                                                   : c->prefillCycles;
                 const bool model_ok = batch_model == nullptr ||
                                       c->req->model == *batch_model;
                 bool kv_ok;
@@ -432,8 +734,25 @@ EventCore::run(std::vector<CostedRequest> &requests) const
                 stats.kvPeakBytes =
                     std::max(stats.kvPeakBytes, kv_in_use);
             }
-            clock += c->prefillCycles;
-            stats.busyCycles += c->prefillCycles;
+            const double prefill =
+                degraded_mode ? c->prefillCyclesDeg : c->prefillCycles;
+            advance(prefill);
+            stats.busyCycles += prefill;
+            if (faulty) {
+                // Faulted runs charge the prefill energy of the mode
+                // the prefill actually ran in, deferred to admission;
+                // zero-fault runs precharged it at costing time with
+                // the identical value, so the accumulation order (and
+                // every bit of the total) is unchanged.
+                c->joules += degraded_mode ? c->pendingPrefillJoulesDeg
+                                           : c->pendingPrefillJoules;
+                c->pendingPrefillJoules = 0.0;
+                c->pendingPrefillJoulesDeg = 0.0;
+                if (c->restartPending) {
+                    stats.faultRecomputeCycles += prefill;
+                    c->restartPending = false;
+                }
+            }
             admitted_any = true;
             if (c->remainingTokens == 0)
                 finish(*c);
@@ -451,11 +770,32 @@ EventCore::run(std::vector<CostedRequest> &requests) const
             panicIf(waiting.empty() ||
                         (paged ? pool.usedBytes() : kv_in_use) > 0.0,
                     "admission stalled with an idle engine");
-            panicIf(next_arrival >= order.size(),
+            if (!faulty) {
+                panicIf(next_arrival >= order.size(),
+                        "admission livelock: waiting requests can "
+                        "never be admitted");
+                clock = std::max(
+                    clock, requests[order[next_arrival]].arrivalCycles);
+                continue;
+            }
+            // Under faults a blocked head can also be unblocked (or
+            // dropped) by a retry expiry, a fault event, or its own
+            // deadline — wake at the earliest of any of them.
+            double wake = std::numeric_limits<double>::infinity();
+            if (next_arrival < order.size())
+                wake = requests[order[next_arrival]].arrivalCycles;
+            for (const CostedRequest *c : retrying)
+                wake = std::min(wake, c->retryAtCycles);
+            if (next_fault < timeline.size())
+                wake = std::min(wake, timeline[next_fault].at);
+            if (faults_.deadlineCycles > 0.0)
+                for (const CostedRequest *c : waiting)
+                    if (c->deadlineCycles > 0.0)
+                        wake = std::min(wake, c->deadlineCycles);
+            panicIf(!std::isfinite(wake),
                     "admission livelock: waiting requests can never "
                     "be admitted");
-            clock = std::max(clock,
-                             requests[order[next_arrival]].arrivalCycles);
+            jump_to(wake);
             continue;
         }
 
@@ -525,6 +865,32 @@ EventCore::run(std::vector<CostedRequest> &requests) const
                         1, static_cast<std::size_t>(ka));
             }
         }
+        if (faulty && k > 1 && cost.cycles > 0.0) {
+            // Fault events, retry expiries and queued-request
+            // deadlines are window boundaries too: stop at the first
+            // iteration whose end reaches one, exactly like the
+            // arrival bound above, so the per-token reference and the
+            // coalesced window observe each at the same clock.
+            auto bound_at = [&](double at) {
+                const double until = at - clock;
+                if (until <= 0.0) {
+                    k = 1;
+                    return;
+                }
+                const double ka = std::ceil(until / cost.cycles);
+                if (ka < static_cast<double>(k))
+                    k = std::max<std::size_t>(
+                        1, static_cast<std::size_t>(ka));
+            };
+            if (next_fault < timeline.size())
+                bound_at(timeline[next_fault].at);
+            for (const CostedRequest *c : retrying)
+                bound_at(c->retryAtCycles);
+            if (faults_.deadlineCycles > 0.0)
+                for (const CostedRequest *c : waiting)
+                    if (c->deadlineCycles > 0.0)
+                        bound_at(c->deadlineCycles);
+        }
         if (paged)
             k = grow_batch_coalesced(k);
 
@@ -535,7 +901,7 @@ EventCore::run(std::vector<CostedRequest> &requests) const
         // unchanged.
         const double kd = static_cast<double>(k);
         const double window_start = clock;
-        clock += kd * cost.cycles;
+        advance(kd * cost.cycles);
         stats.busyCycles += kd * cost.cycles;
         stats.occupancySum += kd * static_cast<double>(active.size());
         stats.peakBatch = std::max(stats.peakBatch, active.size());

@@ -42,6 +42,24 @@
  * aggregate cycle/energy totals agree to ~1e-9 relative (the closed
  * forms re-associate floating-point sums). MCBP_SERVING_STEP=per-token
  * selects the reference path at runtime.
+ *
+ * Fault tolerance (FaultInputs; sim/fault_model.hpp): fault events
+ * are first-class window boundaries — a coalesced window never
+ * crosses the next fault instant, a pending retry's backoff expiry,
+ * or a waiting request's deadline, so the per-token and coalesced
+ * paths make identical kill/retry/drop decisions. A chip failure
+ * kills every in-flight request (KV freed, decode progress lost,
+ * restart prefill re-armed at the full prompt) and schedules a
+ * retry with capped exponential backoff in simulated time; past the
+ * retry budget or the per-request deadline the request drops. A
+ * failed chip puts the fleet in degraded mode (requests decode at
+ * their degraded-topology rates) when the caller supplied them, in
+ * outage (no decode, no admission until repair) otherwise; a second
+ * permanent failure is fatal to the fleet and drops all remaining
+ * work. Deadlines apply to queued work only: an actively decoding
+ * request runs to completion and merely misses the SLO. With
+ * FaultInputs disabled every fault branch is skipped and the run is
+ * bit-identical to the pre-fault engine.
  */
 #pragma once
 
@@ -54,6 +72,7 @@
 #include "engine/scheduler.hpp"
 #include "model/llm_config.hpp"
 #include "model/request.hpp"
+#include "sim/fault_model.hpp"
 
 namespace mcbp::engine {
 
@@ -141,6 +160,71 @@ struct CostedRequest
     double kvNeededBytes = 0.0;
     std::size_t preemptions = 0;
     std::size_t recomputedTokens = 0;
+
+    // ---- Fault-tolerant serving state (inert on zero-fault runs) ----
+    /**
+     * Degraded-topology twins of the decode rates above, priced on
+     * the surviving-fleet accelerator (health.hpp): the iteration
+     * cost switches to these while the fleet runs degraded. Set by
+     * the serving layer only when a degraded accelerator was
+     * supplied (FaultInputs::hasDegraded).
+     */
+    double weightCyclesPerTokenDeg = 0.0;
+    double linearCyclesPerTokenDeg = 0.0;
+    double otherCyclesPerTokenDeg = 0.0;
+    double fixedCyclesPerTokenDeg = 0.0;
+    double weightJoulesPerTokenDeg = 0.0;
+    double otherJoulesPerTokenDeg = 0.0;
+    bool memorySerializedDeg = false;
+    std::size_t stagesDeg = 1;
+    /** Degraded twin of prefillCycles (kept fresh by re-pricing). */
+    double prefillCyclesDeg = 0.0;
+    /** Full-prompt restart prices: a fault kill loses all decode
+     *  progress, so the next admission replays the original prefill
+     *  (unlike a paged preemption, which re-prices prompt+progress). */
+    double basePrefillCycles = 0.0;
+    double basePrefillJoules = 0.0;
+    double basePrefillCyclesDeg = 0.0;
+    double basePrefillJoulesDeg = 0.0;
+    /** Prefill energy charged at the next admission. Faulted runs
+     *  defer the charge to admission (mode-dependent); zero-fault
+     *  runs precharge at costing, bit-identically (the admission is
+     *  the first accumulation either way). */
+    double pendingPrefillJoules = 0.0;
+    double pendingPrefillJoulesDeg = 0.0;
+    std::size_t retries = 0;    ///< Fault-kill restarts so far.
+    double retryAtCycles = 0.0; ///< Backoff expiry (earliest retry).
+    double deadlineCycles = 0.0; ///< Drop-dead clock (0 = none).
+    /** The next admission is a post-kill restart: its prefill counts
+     *  as fault-attributable recompute. */
+    bool restartPending = false;
+    bool dropped = false;
+};
+
+/**
+ * Fault-injection inputs of one run, pre-converted to CYCLES (the
+ * serving layer rescales the seconds timeline once the accelerator's
+ * clock is known). Default-constructed = faults off: every fault
+ * branch in the loop is skipped and the run is bit-identical to the
+ * pre-fault engine.
+ */
+struct FaultInputs
+{
+    bool enabled = false;
+    /** Discrete fault events, sorted ascending by `at` (cycles). */
+    std::vector<sim::FaultEvent> timeline;
+    /** Fault-kill retries before a request is dropped. */
+    std::size_t maxRetries = 3;
+    /** Capped exponential backoff: retry n waits
+     *  min(cap, base * 2^(n-1)) simulated cycles after the kill. */
+    double backoffBaseCycles = 0.0;
+    double backoffCapCycles = 0.0;
+    /** Per-request completion deadline from arrival (0 = none):
+     *  queued or retrying work past it is dropped. */
+    double deadlineCycles = 0.0;
+    /** Degraded-topology rates are present on every request, so chip
+     *  failures degrade the fleet instead of taking it down. */
+    bool hasDegraded = false;
 };
 
 /** Aggregate outcome of one event-loop run, in cycles. */
@@ -178,6 +262,35 @@ struct EventStats
     std::vector<std::size_t> preemptionOrder;
     /** Requests in completion order (admission/completion cycles set). */
     std::vector<CostedRequest *> completed;
+
+    // ---- Availability (fault injection; all zero on zero-fault runs) --
+    std::size_t faultEvents = 0;    ///< Timeline events processed.
+    std::size_t killedInFlight = 0; ///< In-flight kills by chip faults.
+    std::size_t retriesScheduled = 0;
+    std::size_t droppedRequests = 0; ///< Budget/deadline/dead-fleet drops.
+    std::size_t faultLostTokens = 0; ///< Decode progress lost to kills.
+    /** Restart prefills replayed after fault kills (cycles). */
+    double faultRecomputeCycles = 0.0;
+    /** Cycles spent with the fleet degraded / fully down. */
+    double degradedCycles = 0.0;
+    double outageCycles = 0.0;
+    /** Retry schedulings and drops, as request ids in decision order
+     *  (part of the coalescing equivalence contract, like
+     *  admissionOrder/preemptionOrder). */
+    std::vector<std::size_t> retryOrder;
+    std::vector<std::size_t> dropOrder;
+    /** Per-fault-event blast radius. */
+    struct FaultImpact
+    {
+        std::size_t eventId = 0;
+        double atCycles = 0.0;
+        sim::FaultKind kind = sim::FaultKind::ChipFail;
+        std::size_t chip = 0;
+        bool permanent = false;
+        std::size_t killed = 0;  ///< In-flight requests killed.
+        std::size_t dropped = 0; ///< Requests dropped outright.
+    };
+    std::vector<FaultImpact> faultLog;
 };
 
 /** Recompute price of one (re)prefill over @p residentTokens tokens. */
@@ -200,12 +313,19 @@ using PrefillPricer =
 class EventCore
 {
   public:
-    /** @p step Auto resolves MCBP_SERVING_STEP at construction. */
+    /**
+     * @p step Auto resolves MCBP_SERVING_STEP at construction.
+     * @p faults default-constructed disables fault injection.
+     * @p degradedRepricer prices a recompute prefill on the degraded
+     * topology (required when faults.hasDegraded and the KV policy is
+     * paged, so a preemption keeps both prefill prices fresh).
+     */
     EventCore(const Scheduler &scheduler, std::size_t maxBatch,
               KvOptions kv, PrefillPricer repricer = nullptr,
-              StepMode step = StepMode::Auto);
+              StepMode step = StepMode::Auto, FaultInputs faults = {},
+              PrefillPricer degradedRepricer = nullptr);
 
-    /** Play @p requests to completion. */
+    /** Play @p requests to completion (or to their drop). */
     EventStats run(std::vector<CostedRequest> &requests) const;
 
   private:
@@ -214,6 +334,8 @@ class EventCore
     KvOptions kv_;
     PrefillPricer repricer_;
     StepMode step_;
+    FaultInputs faults_;
+    PrefillPricer degradedRepricer_;
 };
 
 } // namespace mcbp::engine

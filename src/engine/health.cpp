@@ -1,0 +1,125 @@
+#include "engine/health.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace mcbp::engine {
+
+namespace {
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+/** Strict non-negative integer parse (the axis grammar). */
+bool
+toAxis(const std::string &value, std::size_t &out)
+{
+    if (value.empty())
+        return false;
+    std::size_t v = 0;
+    for (char ch : value) {
+        if (ch < '0' || ch > '9')
+            return false;
+        v = v * 10 + static_cast<std::size_t>(ch - '0');
+    }
+    out = v;
+    return true;
+}
+
+} // namespace
+
+std::string
+degradedSpec(const std::string &spec)
+{
+    // Parse `name[:key=value,...]` preserving option order, so the
+    // rewritten spec stays recognizably the caller's spec.
+    const std::size_t colon = spec.find(':');
+    const std::string name = toLower(spec.substr(0, colon));
+    fatalIf(name.empty(), "empty accelerator spec");
+    std::vector<std::pair<std::string, std::string>> options;
+    if (colon != std::string::npos) {
+        const std::string rest = spec.substr(colon + 1);
+        std::size_t pos = 0;
+        while (pos < rest.size()) {
+            const std::size_t comma = rest.find(',', pos);
+            const std::string kv = rest.substr(
+                pos, comma == std::string::npos ? std::string::npos
+                                                : comma - pos);
+            const std::size_t eq = kv.find('=');
+            fatalIf(eq == std::string::npos || eq == 0,
+                    "malformed option '" + kv + "' in spec '" + spec +
+                        "'");
+            options.emplace_back(toLower(kv.substr(0, eq)),
+                                 kv.substr(eq + 1));
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
+
+    auto axis = [&](const char *key) -> std::size_t {
+        for (const auto &kv : options)
+            if (kv.first == key) {
+                std::size_t v = 0;
+                fatalIf(!toAxis(kv.second, v),
+                        "option '" + std::string(key) +
+                            "' needs a non-negative integer in spec '" +
+                            spec + "'");
+                return v;
+            }
+        return 1; // Absent axis = degree 1.
+    };
+    std::size_t tp = axis("tp");
+    std::size_t pp = axis("pp");
+
+    // Halve the widest redundant axis: the tensor group loses a shard
+    // pair first (its collective re-forms cheapest), then the
+    // pipeline re-partitions. No redundancy -> no degraded form.
+    if (tp >= 2)
+        tp /= 2;
+    else if (pp >= 2)
+        pp /= 2;
+    else
+        return "";
+
+    const bool has_fabric = tp > 1 || pp > 1;
+    std::string out = name;
+    char sep = ':';
+    for (const auto &kv : options) {
+        std::string value = kv.second;
+        if (kv.first == "tp") {
+            if (tp <= 1)
+                continue; // tp=1 is the registry's no-fabric no-op.
+            value = std::to_string(tp);
+        } else if (kv.first == "pp") {
+            if (pp <= 1)
+                continue;
+            value = std::to_string(pp);
+        } else if (kv.first == "mb") {
+            if (pp <= 1)
+                continue; // Micro-batching needs a pipeline.
+        } else if (kv.first == "linkgbs" || kv.first == "linkpj" ||
+                   kv.first == "hops") {
+            if (!has_fabric)
+                continue; // Link knobs need a multi-chip fabric.
+        }
+        out += sep;
+        sep = ',';
+        out += kv.first;
+        out += '=';
+        out += value;
+    }
+    return out;
+}
+
+} // namespace mcbp::engine

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Health-aware replanning of a multi-chip topology.
+ *
+ * When a chip inside a tp=/pp= group fails, the surviving fleet is
+ * the same design with the failed axis halved: a tp=4 all-reduce
+ * group loses a shard pair and re-forms as tp=2, a pp=4 pipeline
+ * re-partitions its layer segments over 2 stages. degradedSpec()
+ * performs that rewrite on the registry's spec grammar
+ * (`name[:key=value,...]`, registry.hpp) so the degraded accelerator
+ * is built through the exact same Registry::make() path — and priced
+ * through the same ExecutionPlan/PlanCache machinery — as the healthy
+ * one. ServingOptions::degradedAccel consumes the result.
+ *
+ * Halving (not decrementing) keeps the rewrite always constructible:
+ * every divisibility constraint a power-of-two axis satisfied (tp
+ * divides heads, layers >= pp) still holds at half the degree, and
+ * the halved group is what a real collective re-forms as (the failed
+ * chip's pair is excised whole).
+ *
+ * The rewrite also drops knobs the surviving topology can no longer
+ * accept — the registry rejects silent no-ops by presence, so a
+ * degraded spec that kept `mb=` at pp=1 or `linkgbs=` with no fabric
+ * would refuse to build. A single-chip spec has no degraded form:
+ * degradedSpec() returns "" and the caller treats the fleet as
+ * non-redundant (a chip failure is an outage or fatal).
+ */
+#pragma once
+
+#include <string>
+
+namespace mcbp::engine {
+
+/**
+ * Spec of the surviving topology after one chip failure: the highest
+ * parallel axis (tp first, then pp) halved, with knobs the smaller
+ * topology cannot accept (axes at 1, `mb=` without a pipeline, link
+ * knobs without a fabric) dropped. Returns "" when @p spec has no
+ * redundancy to fail over to (tp and pp both absent or 1).
+ * fatal() on a malformed spec (same grammar as Registry::make).
+ */
+std::string degradedSpec(const std::string &spec);
+
+} // namespace mcbp::engine

@@ -58,6 +58,9 @@ ServingSimulator::ServingSimulator(const Accelerator &accel,
       planCache_(accel::makePlanCache())
 {
     // Option bounds are enforced by EventCore, which owns them.
+    if (opts_.degradedAccel != nullptr)
+        degradedIdentity_ = opts_.degradedAccel->name() + "\n" +
+                            opts_.degradedAccel->configSummary();
 }
 
 KvOptions
@@ -97,11 +100,31 @@ ServingSimulator::costTrace(const std::vector<model::Request> &trace) const
         cache->warm(requests, opts_.profileThreads);
     }
 
+    // The degraded topology is only priced when faults can actually
+    // put the fleet on it.
+    const bool faulty = opts_.faults.enabled();
+    const Accelerator *deg = faulty ? opts_.degradedAccel : nullptr;
+    if (deg != nullptr)
+        if (const std::shared_ptr<accel::ProfileCache> cache =
+                deg->profileCache()) {
+            std::vector<accel::ProfileRequest> requests;
+            std::set<std::string> shapes;
+            for (const model::Request &req : trace)
+                if (shapes.insert(shapeKey(req)).second)
+                    deg->profileRequests(model::findModel(req.model),
+                                         req.workload(), requests);
+            cache->warm(requests, opts_.profileThreads);
+        }
+
     const KvOptions kv = kvOptions();
     // Pipeline stage count for the decode iteration's stage-aware
     // overlap (one accelerator serves the whole trace).
     const std::size_t stages =
         std::max<std::size_t>(1, accel_->capabilities().pipelineStages);
+    const std::size_t stages_deg =
+        deg != nullptr
+            ? std::max<std::size_t>(1, deg->capabilities().pipelineStages)
+            : 1;
 
     // ---- Cost each request with a batch-1 run ---------------------------
     // The fan-out prices each request independently (distinct shapes
@@ -148,7 +171,21 @@ ServingSimulator::costTrace(const std::vector<model::Request> &trace) const
             const double procs = static_cast<double>(rm.processors);
             // Start from the prefill energy; decode energy accrues per
             // served token with the weight stream amortized.
-            c.joules = rm.prefill.energy.totalPj() * 1e-12 * procs;
+            const double prefill_joules =
+                rm.prefill.energy.totalPj() * 1e-12 * procs;
+            if (faulty) {
+                // Faulted runs defer the prefill charge to admission
+                // (the mode the prefill actually runs in). The first
+                // accumulation into c.joules is the identical value
+                // either way, so a fault-enabled run whose timeline
+                // never fires is bit-identical to this precharge.
+                c.joules = 0.0;
+                c.pendingPrefillJoules = prefill_joules;
+                c.basePrefillCycles = c.prefillCycles;
+                c.basePrefillJoules = prefill_joules;
+            } else {
+                c.joules = prefill_joules;
+            }
             if (req.decodeLen > 0) {
                 const double steps =
                     static_cast<double>(req.decodeLen);
@@ -177,6 +214,54 @@ ServingSimulator::costTrace(const std::vector<model::Request> &trace) const
                 c.weightJoulesPerToken = decode_joules * wf / steps;
                 c.otherJoulesPerToken =
                     decode_joules * (1.0 - wf) / steps;
+            }
+            if (deg != nullptr) {
+                // Price the degraded-topology twin through the same
+                // plan cache under its own identity prefix, splitting
+                // the streams exactly as above so degraded decode
+                // windows compose the same way healthy ones do.
+                const accel::RunMetrics &rmd = planCache_->metrics(
+                    degradedIdentity_, m, w,
+                    [&] { return deg->run(m, w); });
+                fatalIf(rmd.clockGhz != rm.clockGhz,
+                        "degraded accelerator must run at the primary "
+                        "accelerator's clock (cycle timelines merge)");
+                const double procsd =
+                    static_cast<double>(rmd.processors);
+                c.prefillCyclesDeg = rmd.prefill.cycles;
+                c.basePrefillCyclesDeg = rmd.prefill.cycles;
+                c.basePrefillJoulesDeg =
+                    rmd.prefill.energy.totalPj() * 1e-12 * procsd;
+                c.pendingPrefillJoulesDeg = c.basePrefillJoulesDeg;
+                c.stagesDeg = stages_deg;
+                if (req.decodeLen > 0) {
+                    const double steps =
+                        static_cast<double>(req.decodeLen);
+                    c.memorySerializedDeg = rmd.decode.memorySerialized;
+                    c.weightCyclesPerTokenDeg =
+                        rmd.decode.weightStreamCycles / steps;
+                    c.linearCyclesPerTokenDeg =
+                        rmd.decode.linearWorkCycles / steps;
+                    const double linear_segment_deg =
+                        accel::composedLinearCycles(
+                            rmd.decode.weightStreamCycles,
+                            rmd.decode.linearWorkCycles,
+                            c.memorySerializedDeg);
+                    c.fixedCyclesPerTokenDeg =
+                        rmd.decode.fixedStepCycles / steps;
+                    c.otherCyclesPerTokenDeg =
+                        std::max(0.0,
+                                 rmd.decode.cycles - linear_segment_deg -
+                                     rmd.decode.fixedStepCycles) /
+                        steps;
+                    const double decode_joules_deg =
+                        rmd.decode.energy.totalPj() * 1e-12 * procsd;
+                    const double wfd = weightEnergyFraction(rmd.decode);
+                    c.weightJoulesPerTokenDeg =
+                        decode_joules_deg * wfd / steps;
+                    c.otherJoulesPerTokenDeg =
+                        decode_joules_deg * (1.0 - wfd) / steps;
+                }
             }
             c.remainingTokens = req.decodeLen;
             return line;
@@ -216,6 +301,31 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
     report.serialSeconds = costed.serialSeconds;
     report.serialJoules = costed.serialJoules;
 
+    // ---- Fault inputs, rescaled to cycles -------------------------------
+    // The timeline is sampled in seconds (the trace's unit) over the
+    // fleet's fault domains (one per KV shard) and converted once now
+    // that costing pinned the clock. Stream separation (kFaultStream)
+    // keeps it independent of trace synthesis at equal seeds.
+    FaultInputs faults;
+    if (opts_.faults.enabled()) {
+        const double to_cycles = costed.clockGhz * 1e9;
+        const std::size_t chips =
+            std::max<std::size_t>(1, accel_->capabilities().kvShards);
+        faults.enabled = true;
+        faults.timeline = sim::buildFaultTimeline(opts_.faults, chips);
+        for (sim::FaultEvent &e : faults.timeline) {
+            e.at *= to_cycles;
+            e.repairAt *= to_cycles;
+        }
+        faults.maxRetries = opts_.retry.maxRetries;
+        faults.backoffBaseCycles =
+            opts_.retry.backoffBaseSeconds * to_cycles;
+        faults.backoffCapCycles =
+            opts_.retry.backoffCapSeconds * to_cycles;
+        faults.deadlineCycles = opts_.retry.deadlineSeconds * to_cycles;
+        faults.hasDegraded = opts_.degradedAccel != nullptr;
+    }
+
     // ---- Discrete-event loop under the selected policies ----------------
     // The paged policy re-prices a preempted request's recompute —
     // its prompt plus every generated token, replayed as one prefill
@@ -239,8 +349,29 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
                            static_cast<double>(rm.processors);
             return price;
         };
+    // Degraded twin of the recompute re-pricer, so a paged preemption
+    // keeps both prefill prices fresh whatever mode the re-admission
+    // lands in.
+    PrefillPricer repricerDeg;
+    if (opts_.kvPolicy == KvPolicy::Paged && faults.enabled &&
+        faults.hasDegraded)
+        repricerDeg = [this](const CostedRequest &c,
+                             std::size_t tokens) {
+            model::Workload w = c.recomputeShape;
+            w.promptLen = tokens;
+            const accel::RunMetrics &rm = planCache_->metrics(
+                degradedIdentity_, *c.model, w, [&] {
+                    return opts_.degradedAccel->run(*c.model, w);
+                });
+            PrefillPrice price;
+            price.cycles = rm.prefill.cycles;
+            price.joules = rm.prefill.energy.totalPj() * 1e-12 *
+                           static_cast<double>(rm.processors);
+            return price;
+        };
     const EventCore core(*scheduler, opts_.maxBatch, kvOptions(),
-                         std::move(repricer), opts_.stepMode);
+                         std::move(repricer), opts_.stepMode,
+                         std::move(faults), std::move(repricerDeg));
     EventStats stats = core.run(costed.costs);
 
     // ---- Aggregate ------------------------------------------------------
@@ -260,6 +391,9 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
         rmx.kvBytes = c->kvBytes;
         rmx.preemptions = c->preemptions;
         rmx.recomputedTokens = c->recomputedTokens;
+        rmx.retries = c->retries;
+        rmx.sloMiss = c->deadlineCycles > 0.0 &&
+                      c->completionCycles > c->deadlineCycles;
         rmx.joules = c->joules;
         report.requests.push_back(rmx);
     }
@@ -284,11 +418,44 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
     report.admissionOrder = std::move(stats.admissionOrder);
     report.preemptionOrder = std::move(stats.preemptionOrder);
 
+    // ---- Availability -----------------------------------------------
+    report.faultEvents = stats.faultEvents;
+    report.killedInFlight = stats.killedInFlight;
+    report.retriesScheduled = stats.retriesScheduled;
+    report.droppedRequests = stats.droppedRequests;
+    report.faultLostTokens = stats.faultLostTokens;
+    report.faultRecomputeSeconds =
+        stats.faultRecomputeCycles * to_seconds;
+    report.degradedSeconds = stats.degradedCycles * to_seconds;
+    report.outageSeconds = stats.outageCycles * to_seconds;
+    report.degradedFraction =
+        report.makespanSeconds > 0.0
+            ? report.degradedSeconds / report.makespanSeconds
+            : 0.0;
+    report.retryOrder = std::move(stats.retryOrder);
+    report.dropOrder = std::move(stats.dropOrder);
+    report.faultLog.reserve(stats.faultLog.size());
+    for (const EventStats::FaultImpact &f : stats.faultLog) {
+        ServingReport::FaultImpact fi;
+        fi.eventId = f.eventId;
+        fi.seconds = f.atCycles * to_seconds;
+        fi.kind = sim::toString(f.kind);
+        fi.chip = f.chip;
+        fi.permanent = f.permanent;
+        fi.killed = f.killed;
+        fi.dropped = f.dropped;
+        report.faultLog.push_back(fi);
+    }
+
     // Percentiles are only defined over completed requests; an empty
-    // completion set (nothing ever admitted) keeps the zeroed report
-    // fields instead of indexing into empty sample vectors.
-    if (report.requests.empty())
+    // completion set (everything rejected or dropped) keeps the
+    // zeroed report fields instead of indexing into empty sample
+    // vectors, and is tagged so callers can tell "all dropped" from
+    // an empty trace.
+    if (report.requests.empty()) {
+        report.noCompletions = true;
         return report;
+    }
 
     std::vector<double> latencies;
     std::vector<double> queue_waits;
@@ -298,6 +465,8 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
     first_tokens.reserve(report.requests.size());
     double total_tokens = 0.0;
     double total_joules = 0.0;
+    double good_tokens = 0.0; // Tokens of SLO-compliant completions.
+    std::size_t compliant = 0;
     double tpot_sum = 0.0;
     std::size_t tpot_requests = 0;
     for (const RequestMetrics &r : report.requests) {
@@ -306,6 +475,10 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
         first_tokens.push_back(r.firstTokenSeconds - r.arrivalSeconds);
         total_tokens += static_cast<double>(r.decodeTokens);
         total_joules += r.joules;
+        if (!r.sloMiss) {
+            good_tokens += static_cast<double>(r.decodeTokens);
+            ++compliant;
+        }
         // TPOT is the steady decode cadence, defined once a request
         // has an inter-token gap to measure.
         if (r.decodeTokens > 1) {
@@ -337,6 +510,14 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
     report.tokensPerSecond = report.makespanSeconds > 0.0
                                  ? total_tokens / report.makespanSeconds
                                  : 0.0;
+    // Goodput accumulates in the same order as total_tokens, so with
+    // no SLO misses it is bit-equal to tokensPerSecond.
+    report.goodputTokensPerSecond =
+        report.makespanSeconds > 0.0
+            ? good_tokens / report.makespanSeconds
+            : 0.0;
+    report.sloAttainment = static_cast<double>(compliant) /
+                           static_cast<double>(trace.size());
     report.joulesPerToken =
         total_tokens > 0.0 ? total_joules / total_tokens : 0.0;
     report.meanBatchOccupancy =

@@ -66,6 +66,23 @@
 
 namespace mcbp::engine {
 
+/** Retry/SLO knobs of fault-tolerant serving (only consulted when
+ *  ServingOptions::faults is enabled). */
+struct RetryOptions
+{
+    /** Fault-kill restarts before a request is dropped. */
+    std::size_t maxRetries = 3;
+    /** Capped exponential backoff: retry n waits
+     *  min(cap, base * 2^(n-1)) simulated seconds after the kill. */
+    double backoffBaseSeconds = 0.05;
+    double backoffCapSeconds = 1.0;
+    /** Per-request completion deadline from arrival (0 = none).
+     *  Queued or retrying work past it is dropped; an actively
+     *  decoding request runs to completion and merely misses the SLO
+     *  (counted against sloAttainment/goodput, not dropped). */
+    double deadlineSeconds = 0.0;
+};
+
 /** Scheduler knobs. */
 struct ServingOptions
 {
@@ -115,6 +132,26 @@ struct ServingOptions
      * See event_core.hpp for the equivalence contract.
      */
     StepMode stepMode = StepMode::Auto;
+    /**
+     * Fault injection (sim/fault_model.hpp). Defaults off; a disabled
+     * spec skips every fault branch and the report is bit-identical
+     * to a build without the fault layer. The timeline is built over
+     * the accelerator's kvShards fault domains and stream-separated
+     * from trace synthesis (kFaultStream), so enabling faults never
+     * perturbs the costed trace.
+     */
+    sim::FaultSpec faults;
+    /** Retry/backoff/deadline knobs of the fault layer. */
+    RetryOptions retry;
+    /**
+     * Degraded-topology accelerator (the surviving fleet after one
+     * chip failure; see health.hpp's degradedSpec to derive its spec
+     * string). When set, chip failures put serving in degraded mode
+     * at this accelerator's prices instead of a full outage, and one
+     * permanent failure is survivable. Not owned; must outlive the
+     * simulator. Must run at the same clock as the primary.
+     */
+    const Accelerator *degradedAccel = nullptr;
 };
 
 /** Per-request outcome. */
@@ -136,6 +173,11 @@ struct RequestMetrics
     std::size_t preemptions = 0;
     /** Decode tokens this request re-generated after preemptions. */
     std::size_t recomputedTokens = 0;
+    /** Fault-kill restarts this request survived before completing. */
+    std::size_t retries = 0;
+    /** Completed past its configured deadline (SLO miss; the request
+     *  still ran to completion — only queued work is dropped). */
+    bool sloMiss = false;
     /** Energy attributed to this request, with the shared decode
      *  weight stream amortized across its batch mates (recompute
      *  prefills included). */
@@ -220,6 +262,48 @@ struct ServingReport
     std::vector<std::size_t> admissionOrder;
     std::vector<std::size_t> preemptionOrder;
 
+    // ---- Availability (fault injection; zero on zero-fault runs) ----
+    /** Set when the trace was non-empty but no request completed
+     *  (everything rejected or dropped): the latency/TTFT/TPOT
+     *  percentiles are zeroed rather than computed over an empty
+     *  sample vector. */
+    bool noCompletions = false;
+    std::size_t faultEvents = 0;    ///< Fault-timeline events hit.
+    std::size_t killedInFlight = 0; ///< In-flight kills by chip faults.
+    std::size_t retriesScheduled = 0;
+    std::size_t droppedRequests = 0;
+    std::size_t faultLostTokens = 0; ///< Decode progress lost to kills.
+    /** Restart prefills replayed after fault kills. */
+    double faultRecomputeSeconds = 0.0;
+    /** Time the fleet served on the degraded topology / was down. */
+    double degradedSeconds = 0.0;
+    double outageSeconds = 0.0;
+    /** degradedSeconds / makespan (0 when the makespan is 0). */
+    double degradedFraction = 0.0;
+    /** SLO-compliant generated tokens / makespan. With no deadline
+     *  configured every completed token is compliant, so this equals
+     *  tokensPerSecond on zero-fault runs. */
+    double goodputTokensPerSecond = 0.0;
+    /** Fraction of the trace completed within its deadline (1 when no
+     *  deadline is configured and nothing was dropped). */
+    double sloAttainment = 0.0;
+    /** Retry schedulings and drops in decision order (request ids) —
+     *  part of the coalescing equivalence contract. */
+    std::vector<std::size_t> retryOrder;
+    std::vector<std::size_t> dropOrder;
+    /** Per-fault-event blast radius, in timeline order. */
+    struct FaultImpact
+    {
+        std::size_t eventId = 0;
+        double seconds = 0.0; ///< Scheduled instant.
+        std::string kind;     ///< sim::toString(FaultKind).
+        std::size_t chip = 0;
+        bool permanent = false;
+        std::size_t killed = 0;
+        std::size_t dropped = 0;
+    };
+    std::vector<FaultImpact> faultLog;
+
     /** Throughput gain of batching vs serving the trace serially. */
     double batchingSpeedup() const
     {
@@ -282,6 +366,9 @@ class ServingSimulator
     /** name + configSummary: every knob that changes pricing, the
      *  plan-cache key prefix. */
     std::string planIdentity_;
+    /** Same, for the degraded accelerator (empty when none): both
+     *  topologies share planCache_ under distinct key prefixes. */
+    std::string degradedIdentity_;
     std::shared_ptr<accel::PlanCache> planCache_;
 };
 

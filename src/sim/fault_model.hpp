@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving fleet.
+ *
+ * A FaultSpec describes the failure processes of a multi-chip
+ * deployment — chip failures (permanent, or transient with a repair
+ * time), link-bandwidth degradation windows on the shared fabric, and
+ * straggler stalls — and buildFaultTimeline() expands it into a
+ * sorted sequence of discrete FaultEvents the serving engine's event
+ * core consumes as first-class window boundaries (event_core.hpp).
+ *
+ * Determinism contract: the timeline is a pure function of
+ * (spec, chips). Its RNG stream is derived from `seed ^ kFaultStream`,
+ * a stream id disjoint from trace synthesis (model::synthesizeTrace
+ * seeds Rng(seed) directly), so enabling faults NEVER perturbs the
+ * synthesized trace or the costed requests — tests pin this
+ * bit-identically (tests/test_faults.cpp).
+ *
+ * Times are SECONDS here (the unit of the trace and of every knob a
+ * user sets); the serving layer converts one copy to cycles once the
+ * accelerator's clock is known. Callers needing exact hand-authored
+ * scenarios (equivalence tests, examples) bypass the generator by
+ * filling FaultSpec::events directly — they are validated, sorted and
+ * id-stamped through the same path, and a transient ChipFail
+ * auto-emits its matching ChipRepair at repairAt.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcbp::sim {
+
+/** XOR'd into FaultSpec::seed to derive the fault RNG stream: keeps
+ *  fault sampling independent of trace synthesis at equal seeds. */
+inline constexpr std::uint64_t kFaultStream = 0xFA175EEDull;
+
+/** What a single fault event does to the fleet. */
+enum class FaultKind
+{
+    ChipFail,       ///< A chip dies (permanent or until its repair).
+    ChipRepair,     ///< A transient chip failure heals.
+    LinkDegrade,    ///< Fabric bandwidth drops by `factor` (in (0,1]).
+    LinkRestore,    ///< The matching degradation window ends.
+    StragglerStart, ///< Iterations slow by `factor` (>= 1).
+    StragglerEnd,   ///< The matching straggler window ends.
+};
+
+/** Canonical name, e.g. "chip-fail". */
+std::string toString(FaultKind kind);
+
+/** One discrete fault event. Times are seconds in a freshly built
+ *  timeline; the serving layer rescales them to cycles in place. */
+struct FaultEvent
+{
+    double at = 0.0;
+    FaultKind kind = FaultKind::ChipFail;
+    /** Failing chip's fault-domain index (< the fleet's chip count =
+     *  Capabilities::kvShards). Ignored for link/straggler events. */
+    std::size_t chip = 0;
+    /** ChipFail only: the chip never repairs. */
+    bool permanent = false;
+    /** Transient ChipFail only: when the matching ChipRepair lands. */
+    double repairAt = 0.0;
+    /** LinkDegrade: bandwidth multiplier in (0,1]. StragglerStart:
+     *  iteration-time multiplier >= 1. Unused otherwise. */
+    double factor = 1.0;
+    /** Timeline position, assigned by buildFaultTimeline (stable). */
+    std::size_t id = 0;
+};
+
+/** The failure processes of one deployment. Everything defaults off:
+ *  a default FaultSpec is the zero-fault configuration. */
+struct FaultSpec
+{
+    /** Stream-separated from trace synthesis via kFaultStream. */
+    std::uint64_t seed = 1;
+
+    /** Per-chip mean time between failures (exponential; 0 = off). */
+    double mtbfSeconds = 0.0;
+    /** Transient-failure repair time (fixed). */
+    double repairSeconds = 0.25;
+    /** Probability a chip failure is permanent (never repairs). */
+    double permanentFraction = 0.0;
+
+    /** Fleet-wide link-degradation windows per second (Poisson;
+     *  0 = off). Windows may overlap; factors stack. */
+    double linkDegradeRate = 0.0;
+    double linkDegradeSeconds = 0.2;
+    /** Bandwidth multiplier while degraded, in (0,1]. */
+    double linkDegradeFactor = 0.5;
+
+    /** Fleet-wide straggler stalls per second (Poisson; 0 = off). */
+    double stragglerRate = 0.0;
+    double stragglerSeconds = 0.1;
+    /** Iteration-time multiplier while stalled (>= 1). */
+    double stragglerSlowdown = 1.5;
+
+    /** Sampling horizon for the generated processes. Required (> 0)
+     *  when any rate above is set; events whose windows straddle the
+     *  horizon keep their closing event past it. */
+    double horizonSeconds = 0.0;
+
+    /** Explicit hand-authored timeline (seconds). When non-empty it
+     *  replaces the generated processes entirely (still validated,
+     *  sorted and id-stamped). */
+    std::vector<FaultEvent> events;
+
+    /** Whether any fault machinery is active at all. */
+    bool enabled() const
+    {
+        return !events.empty() || mtbfSeconds > 0.0 ||
+               linkDegradeRate > 0.0 || stragglerRate > 0.0;
+    }
+};
+
+/**
+ * Expand @p spec into the sorted, id-stamped event timeline of a
+ * fleet of @p chips fault domains. Deterministic in (spec, chips);
+ * fatal() on invalid knobs (non-positive horizon with rates set,
+ * factors outside their ranges, chip indices out of bounds).
+ */
+std::vector<FaultEvent> buildFaultTimeline(const FaultSpec &spec,
+                                           std::size_t chips);
+
+} // namespace mcbp::sim

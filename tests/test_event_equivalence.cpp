@@ -16,13 +16,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "engine/health.hpp"
 #include "engine/registry.hpp"
 #include "engine/serving.hpp"
 #include "model/request.hpp"
+#include "sim/fault_model.hpp"
 
 namespace mcbp::engine {
 namespace {
@@ -72,6 +75,14 @@ expectEquivalent(const ServingReport &ref, const ServingReport &coal)
         expectNear(ref.requests[i].admissionSeconds,
                    coal.requests[i].admissionSeconds, "admission");
     }
+    // Fault decisions verbatim too (all zero/empty on clean runs).
+    EXPECT_EQ(ref.retryOrder, coal.retryOrder);
+    EXPECT_EQ(ref.dropOrder, coal.dropOrder);
+    EXPECT_EQ(ref.faultEvents, coal.faultEvents);
+    EXPECT_EQ(ref.killedInFlight, coal.killedInFlight);
+    EXPECT_EQ(ref.retriesScheduled, coal.retriesScheduled);
+    EXPECT_EQ(ref.droppedRequests, coal.droppedRequests);
+    EXPECT_EQ(ref.faultLostTokens, coal.faultLostTokens);
     // Aggregates to 1e-9 relative.
     expectNear(ref.busySeconds, coal.busySeconds, "busy");
     expectNear(ref.makespanSeconds, coal.makespanSeconds, "makespan");
@@ -81,6 +92,12 @@ expectEquivalent(const ServingReport &ref, const ServingReport &coal)
     expectNear(ref.p99FirstTokenSeconds, coal.p99FirstTokenSeconds,
                "p99 TTFT");
     expectNear(ref.kvPeakBytes, coal.kvPeakBytes, "kv peak");
+    expectNear(ref.degradedSeconds, coal.degradedSeconds, "degraded");
+    expectNear(ref.outageSeconds, coal.outageSeconds, "outage");
+    expectNear(ref.faultRecomputeSeconds, coal.faultRecomputeSeconds,
+               "fault recompute");
+    expectNear(ref.goodputTokensPerSecond, coal.goodputTokensPerSecond,
+               "goodput");
 }
 
 TEST(EventEquivalence, CoalescedMatchesPerTokenAcrossPolicyMatrix)
@@ -124,6 +141,90 @@ TEST(EventEquivalence, CoalescedMatchesPerTokenAcrossPolicyMatrix)
                 EXPECT_LT(b.decodeWindows, b.decodeIterations);
                 expectEquivalent(a, b);
             }
+        }
+    }
+}
+
+TEST(EventEquivalence, CoalescedMatchesPerTokenUnderInjectedFaults)
+{
+    const auto trace = denseTrace();
+    Registry registry;
+    for (const char *spec : {"mcbp", "mcbp:pp=2,tp=2"}) {
+        auto accel = registry.make(spec);
+        // The composed topology fails over to its degraded form; the
+        // single chip has none and rides out an outage instead.
+        const std::string deg = degradedSpec(spec);
+        std::unique_ptr<Accelerator> degraded;
+        if (!deg.empty())
+            degraded = registry.make(deg);
+
+        // Hand-authored timeline at fractions of the healthy
+        // makespan: a transient chip failure (kills + retries), a
+        // straggler stall and a link-degradation window.
+        ServingOptions probe_opts;
+        probe_opts.maxBatch = 8;
+        const double T = ServingSimulator(*accel, probe_opts)
+                             .simulate(trace)
+                             .makespanSeconds;
+        ASSERT_GT(T, 0.0);
+        sim::FaultSpec faults;
+        sim::FaultEvent fail;
+        fail.at = T / 4.0;
+        fail.kind = sim::FaultKind::ChipFail;
+        fail.permanent = false;
+        fail.repairAt = fail.at + T / 10.0;
+        faults.events.push_back(fail);
+        sim::FaultEvent stall;
+        stall.at = T / 2.0;
+        stall.kind = sim::FaultKind::StragglerStart;
+        stall.factor = 1.75;
+        faults.events.push_back(stall);
+        sim::FaultEvent stall_end = stall;
+        stall_end.at = 0.7 * T;
+        stall_end.kind = sim::FaultKind::StragglerEnd;
+        faults.events.push_back(stall_end);
+        sim::FaultEvent link;
+        link.at = 0.55 * T;
+        link.kind = sim::FaultKind::LinkDegrade;
+        link.factor = 0.5;
+        faults.events.push_back(link);
+        sim::FaultEvent link_end = link;
+        link_end.at = 0.8 * T;
+        link_end.kind = sim::FaultKind::LinkRestore;
+        faults.events.push_back(link_end);
+
+        for (KvPolicy kv : allKvPolicies()) {
+            ServingOptions opts;
+            opts.maxBatch = 8;
+            opts.kvPolicy = kv;
+            opts.faults = faults;
+            opts.degradedAccel = degraded.get();
+            if (kv == KvPolicy::Paged) {
+                ServingOptions probe = probe_opts;
+                probe.kvPolicy = kv;
+                opts.kvCapacityBytes =
+                    ServingSimulator(*accel, probe)
+                        .simulate(trace)
+                        .kvPeakBytes /
+                    4.0;
+            }
+            ServingOptions ref = opts;
+            ref.stepMode = StepMode::PerToken;
+            ServingOptions coal = opts;
+            coal.stepMode = StepMode::Coalesced;
+            const ServingReport a =
+                ServingSimulator(*accel, ref).simulate(trace);
+            const ServingReport b =
+                ServingSimulator(*accel, coal).simulate(trace);
+            SCOPED_TRACE(std::string(spec) + " / " + toString(kv) +
+                         " / faulted");
+            // The leg must actually exercise the fault machinery (the
+            // transient failure expands to fail + repair: 6 events).
+            EXPECT_EQ(b.faultEvents, 6u);
+            EXPECT_GT(b.killedInFlight, 0u);
+            EXPECT_GT(b.retriesScheduled, 0u);
+            EXPECT_LT(b.decodeWindows, b.decodeIterations);
+            expectEquivalent(a, b);
         }
     }
 }
