@@ -87,6 +87,7 @@ fullMergeAddsScalar(const bitslice::BitPlane &plane)
             ++merge_adds;
     }
     std::uint64_t recon_adds = 0;
+    // mcbp-lint: allow(unordered-accumulation): uint64 sum is commutative, order cannot change the result
     for (const auto &kv : uniq)
         recon_adds += kv.second;
     return merge_adds + recon_adds;

@@ -19,6 +19,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/env.hpp"
 #include "common/table.hpp"
 #include "engine/health.hpp"
 #include "engine/registry.hpp"
@@ -53,6 +54,16 @@ report(const engine::ServingReport &r, const std::string &setting,
 int
 main(int argc, char **argv)
 {
+    // --env: print the documented MCBP_* knob table (common/env.hpp,
+    // the registry every environment read routes through) and exit.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--env") {
+            std::cout << "MCBP_* environment knobs (common/env.hpp):\n"
+                      << env::describeKnobs();
+            return 0;
+        }
+    }
+
     // Reject a bad --json path before simulating anything.
     (void)bench::validatedJsonPathFromArgs(argc, argv);
     bench::JsonRecords json("serving");
@@ -79,7 +90,7 @@ main(int argc, char **argv)
              "batching gain"});
 
     // --- The fleet ------------------------------------------------------
-    for (const std::string &spec :
+    for (const std::string spec :
          {"a100", "mcbp:procs=148", "mcbp-aggressive:procs=148"}) {
         auto accel = registry.make(spec);
         engine::ServingSimulator sim(*accel, {/*maxBatch=*/32});

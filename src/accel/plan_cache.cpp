@@ -51,7 +51,7 @@ PlanCache::metrics(const std::string &identity,
     // call_once lets the next caller retry the key.
     std::shared_ptr<Slot> slot;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto &entry = entries_[planKey(identity, model, task)];
         if (!entry)
             entry = std::make_shared<Slot>();
@@ -59,7 +59,7 @@ PlanCache::metrics(const std::string &identity,
     }
     std::call_once(slot->once, [&] {
         RunMetrics computed = compute();
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         slot->value = std::move(computed);
         slot->ready = true;
         ++computeCalls_;
@@ -70,7 +70,7 @@ PlanCache::metrics(const std::string &identity,
 std::size_t
 PlanCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::size_t n = 0;
     for (const auto &kv : entries_)
         n += kv.second->ready ? 1 : 0;
@@ -80,7 +80,7 @@ PlanCache::size() const
 std::uint64_t
 PlanCache::computeCalls() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return computeCalls_;
 }
 

@@ -31,6 +31,7 @@
 #include <string>
 
 #include "accel/report.hpp"
+#include "common/annotations.hpp"
 #include "model/llm_config.hpp"
 #include "model/workload.hpp"
 
@@ -75,9 +76,10 @@ class PlanCache
         bool ready = false; ///< Written once under the once-flag.
     };
 
-    mutable std::mutex mutex_;
-    std::map<std::string, std::shared_ptr<Slot>> entries_;
-    std::uint64_t computeCalls_ = 0; ///< Guarded by mutex_.
+    mutable Mutex mutex_;
+    std::map<std::string, std::shared_ptr<Slot>> entries_
+        MCBP_GUARDED_BY(mutex_);
+    std::uint64_t computeCalls_ MCBP_GUARDED_BY(mutex_) = 0;
 };
 
 /** A fresh cache wrapped for sharing across simulator layers. */

@@ -65,7 +65,7 @@ ProfileCache::lookup(
 {
     std::shared_ptr<Slot<Stats>> slot;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto &entry = map[key];
         if (!entry)
             entry = std::make_shared<Slot<Stats>>();
@@ -73,7 +73,7 @@ ProfileCache::lookup(
     }
     std::call_once(slot->once, [&] {
         Stats computed = compute();
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         slot->value = std::move(computed);
         slot->ready = true;
         ++profileCalls_;
@@ -153,7 +153,7 @@ ProfileCache::warm(const std::vector<ProfileRequest> &requests,
 std::size_t
 ProfileCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::size_t n = 0;
     for (const auto &kv : weights_)
         n += kv.second->ready ? 1 : 0;
@@ -165,7 +165,7 @@ ProfileCache::size() const
 std::uint64_t
 ProfileCache::profileCalls() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return profileCalls_;
 }
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "accel/profiles.hpp"
+#include "common/annotations.hpp"
 #include "model/llm_config.hpp"
 #include "model/workload.hpp"
 #include "quant/quantizer.hpp"
@@ -115,11 +116,12 @@ class ProfileCache
                                       double alpha, std::uint64_t seed,
                                       std::size_t threads);
 
-    mutable std::mutex mutex_;
-    std::map<std::string, std::shared_ptr<Slot<WeightStats>>> weights_;
+    mutable Mutex mutex_;
+    std::map<std::string, std::shared_ptr<Slot<WeightStats>>> weights_
+        MCBP_GUARDED_BY(mutex_);
     std::map<std::string, std::shared_ptr<Slot<AttentionStats>>>
-        attention_;
-    std::uint64_t profileCalls_ = 0; ///< Guarded by mutex_.
+        attention_ MCBP_GUARDED_BY(mutex_);
+    std::uint64_t profileCalls_ MCBP_GUARDED_BY(mutex_) = 0;
 };
 
 /** A fresh cache wrapped for sharing across accelerator instances. */

@@ -155,6 +155,7 @@ compareMergeStrategies(const BitPlane &plane, std::size_t m)
             }
         }
         std::uint64_t recon_adds = 0;
+        // mcbp-lint: allow(unordered-accumulation): uint64 sum is commutative, order cannot change the result
         for (const auto &kv : uniq)
             recon_adds += kv.second; // distinct column feeds its rows
         cost.fullMergeAdds = merge_adds + recon_adds;

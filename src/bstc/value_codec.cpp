@@ -213,7 +213,7 @@ buildCanonical(const std::array<std::uint8_t, kAlphabet> &lengths)
 ValueCompressed
 huffmanEncode(const Int8Matrix &w)
 {
-    fatalIf(w.size() == 0, "cannot compress an empty matrix");
+    fatalIf(w.empty(), "cannot compress an empty matrix");
     std::array<std::uint64_t, kAlphabet> freq{};
     w.forEach([&](std::size_t, std::size_t, std::int8_t v) {
         ++freq[toSymbol(v)];

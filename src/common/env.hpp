@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Central registry of every MCBP_* environment knob.
+ *
+ * The determinism contracts this codebase enforces (bit-identical
+ * parallel costing, coalesced-vs-per-token decision identity,
+ * stream-separated fault RNG) all depend on knowing exactly which
+ * outside state can influence a run. Environment variables are the
+ * only such state we accept, so every read goes through this one
+ * registry: env::get() is the single std::getenv call site in the
+ * tree (enforced by the `stray-getenv` rule of tools/lint/mcbp_lint),
+ * and every knob must be declared in knobs() with its default and
+ * consumer before get() will return it — an unregistered name is a
+ * fatal() programming error, not a silent nullptr.
+ *
+ * `example_serving --env` prints the table below, so the deployment
+ * surface is discoverable without grepping the sources.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcbp::env {
+
+/** One documented environment knob. */
+struct Knob
+{
+    /** Variable name, e.g. "MCBP_THREADS". */
+    const char *name;
+    /** Human-readable default when the variable is unset. */
+    const char *defaultValue;
+    /** The subsystem that reads it (file or component). */
+    const char *consumer;
+    /** One-line meaning, including the accepted values. */
+    const char *meaning;
+};
+
+/** The full knob table, sorted by name. Append here before calling
+ *  get() on a new variable; the table is the documentation of record
+ *  (printed by `example_serving --env` and the README). */
+const std::vector<Knob> &knobs();
+
+/**
+ * Value of the registered knob @p name, or nullptr when unset — the
+ * only place in the tree that may call std::getenv. fatal() if @p name
+ * is not declared in knobs(), so the table can never go stale.
+ */
+const char *get(const char *name);
+
+/** True when @p name is declared in knobs(). */
+bool isRegistered(const char *name);
+
+/** The table rendered as aligned text lines (for --env flags). */
+std::string describeKnobs();
+
+} // namespace mcbp::env

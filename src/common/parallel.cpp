@@ -8,6 +8,9 @@
 #include <mutex>
 #include <thread>
 
+#include "common/annotations.hpp"
+#include "common/env.hpp"
+
 namespace mcbp::parallel {
 
 namespace {
@@ -29,11 +32,12 @@ struct Batch
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> finished{0};
 
-    std::mutex mutex;
-    std::condition_variable done;
+    Mutex mutex;
+    CondVar done;
     /** Lowest-index exception wins, independent of thread timing. */
-    std::size_t errorIndex = std::numeric_limits<std::size_t>::max();
-    std::exception_ptr error;
+    std::size_t errorIndex MCBP_GUARDED_BY(mutex) =
+        std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error MCBP_GUARDED_BY(mutex);
 
     bool
     exhausted() const
@@ -53,7 +57,7 @@ struct Batch
             try {
                 (*body)(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mutex);
+                MutexLock lock(mutex);
                 if (i < errorIndex) {
                     errorIndex = i;
                     error = std::current_exception();
@@ -63,7 +67,7 @@ struct Batch
                 n) {
                 // Lock pairs with the submitter's predicate check so
                 // the final notify cannot slip into its wait window.
-                std::lock_guard<std::mutex> lock(mutex);
+                MutexLock lock(mutex);
                 done.notify_all();
             }
         }
@@ -88,7 +92,7 @@ class ThreadPool
     ~ThreadPool()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             stop_ = true;
         }
         wake_.notify_all();
@@ -107,25 +111,29 @@ class ThreadPool
         batch->body = &body;
         batch->helperCap = helperCap;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             batches_.push_back(batch);
         }
         wake_.notify_all();
 
         batch->help(); // The submitter always works its own batch.
+        std::exception_ptr error;
         {
-            std::unique_lock<std::mutex> lock(batch->mutex);
-            batch->done.wait(lock, [&] {
+            MutexLock lock(batch->mutex);
+            // The predicate reads only the atomic completion counter,
+            // so the guarded members stay behind this lock.
+            batch->done.wait(batch->mutex, [&] {
                 return batch->finished.load(
                            std::memory_order_acquire) == batch->n;
             });
+            error = batch->error;
         }
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             std::erase(batches_, batch);
         }
-        if (batch->error)
-            std::rethrow_exception(batch->error);
+        if (error)
+            std::rethrow_exception(error);
     }
 
   private:
@@ -135,17 +143,22 @@ class ThreadPool
         for (;;) {
             std::shared_ptr<Batch> batch;
             {
-                std::unique_lock<std::mutex> lock(mutex_);
-                wake_.wait(lock, [&] {
-                    return stop_ || (batch = claimable()) != nullptr;
-                });
-                if (stop_)
-                    return;
+                // Explicit wait loop (not a predicate lambda): the
+                // thread-safety analysis then sees every access to
+                // stop_/batches_ inside the MutexLock scope.
+                MutexLock lock(mutex_);
+                for (;;) {
+                    if (stop_)
+                        return;
+                    if ((batch = claimable()) != nullptr)
+                        break;
+                    wake_.wait(mutex_); // re-check after every wake
+                }
                 ++batch->helpers; // Admitted under the pool lock.
             }
             batch->help();
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 --batch->helpers;
             }
             // Loop around: another batch may have work (no wait if the
@@ -155,7 +168,7 @@ class ThreadPool
 
     /** A batch with unclaimed work and a free helper slot (guarded). */
     std::shared_ptr<Batch>
-    claimable() const
+    claimable() const MCBP_REQUIRES(mutex_)
     {
         for (const auto &b : batches_)
             if (!b->exhausted() && b->helpers < b->helperCap)
@@ -163,10 +176,10 @@ class ThreadPool
         return nullptr;
     }
 
-    std::mutex mutex_;
-    std::condition_variable wake_;
-    std::vector<std::shared_ptr<Batch>> batches_;
-    bool stop_ = false;
+    mutable Mutex mutex_;
+    CondVar wake_;
+    std::vector<std::shared_ptr<Batch>> batches_ MCBP_GUARDED_BY(mutex_);
+    bool stop_ MCBP_GUARDED_BY(mutex_) = false;
     std::vector<std::thread> workers_;
 };
 
@@ -183,7 +196,7 @@ std::size_t
 hardwareThreads()
 {
     static const std::size_t count = [] {
-        if (const char *env = std::getenv("MCBP_THREADS")) {
+        if (const char *env = env::get("MCBP_THREADS")) {
             char *end = nullptr;
             const unsigned long v = std::strtoul(env, &end, 10);
             if (end != env && *end == '\0' && v >= 1)

@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.hpp"
+
 namespace mcbp::simd {
 
 namespace {
@@ -90,7 +92,7 @@ Tier
 activeTier()
 {
     static const Tier resolved =
-        resolveTier(std::getenv("MCBP_SIMD"), availableTier());
+        resolveTier(env::get("MCBP_SIMD"), availableTier());
     return resolved;
 }
 

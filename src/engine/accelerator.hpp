@@ -123,6 +123,7 @@ class Accelerator
     {
         (void)model;
         (void)task;
+        (void)out;
     }
 
     /**

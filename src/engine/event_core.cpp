@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "accel/report.hpp"
+#include "common/env.hpp"
 #include "common/logging.hpp"
 
 namespace mcbp::engine {
@@ -28,7 +29,7 @@ toString(StepMode mode)
 StepMode
 stepModeFromEnv()
 {
-    const char *env = std::getenv("MCBP_SERVING_STEP");
+    const char *env = env::get("MCBP_SERVING_STEP");
     if (env == nullptr || *env == '\0')
         return StepMode::Coalesced;
     const std::string value(env);

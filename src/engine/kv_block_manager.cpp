@@ -80,12 +80,14 @@ KvBlockManager::fits(double extraBytes, bool admission) const
         return true;
     const double headroom =
         admission ? opts_.lowWatermark * opts_.capacityBytes : 0.0;
+    MutexLock lock(mutex_);
     return used_ + extraBytes <= opts_.capacityBytes - headroom;
 }
 
 void
 KvBlockManager::add(double allocated, double needed)
 {
+    MutexLock lock(mutex_);
     used_ += allocated;
     needed_ += needed;
     peakUsed_ = std::max(peakUsed_, used_);
@@ -95,6 +97,7 @@ KvBlockManager::add(double allocated, double needed)
 void
 KvBlockManager::remove(double allocated, double needed)
 {
+    MutexLock lock(mutex_);
     used_ -= allocated;
     needed_ -= needed;
 }
@@ -102,6 +105,7 @@ KvBlockManager::remove(double allocated, double needed)
 void
 KvBlockManager::clearIdleResidual()
 {
+    MutexLock lock(mutex_);
     panicIf(std::abs(used_) > 1.0,
             "KV block accounting leak: idle engine still holds "
             "allocated blocks");
@@ -110,7 +114,35 @@ KvBlockManager::clearIdleResidual()
 }
 
 double
-KvBlockManager::freeBytes() const
+KvBlockManager::usedBytes() const
+{
+    MutexLock lock(mutex_);
+    return used_;
+}
+
+double
+KvBlockManager::neededBytes() const
+{
+    MutexLock lock(mutex_);
+    return needed_;
+}
+
+double
+KvBlockManager::peakUsedBytes() const
+{
+    MutexLock lock(mutex_);
+    return peakUsed_;
+}
+
+double
+KvBlockManager::peakFragmentationBytes() const
+{
+    MutexLock lock(mutex_);
+    return peakFrag_;
+}
+
+double
+KvBlockManager::freeBytesLocked() const
 {
     if (unbounded())
         return 0.0;
@@ -118,11 +150,19 @@ KvBlockManager::freeBytes() const
 }
 
 double
+KvBlockManager::freeBytes() const
+{
+    MutexLock lock(mutex_);
+    return freeBytesLocked();
+}
+
+double
 KvBlockManager::freeFraction() const
 {
     if (unbounded())
         return 1.0;
-    return freeBytes() / opts_.capacityBytes;
+    MutexLock lock(mutex_);
+    return freeBytesLocked() / opts_.capacityBytes;
 }
 
 } // namespace mcbp::engine

@@ -42,6 +42,8 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
+
 namespace mcbp::engine {
 
 /** Selectable KV admission policies (ServingOptions::kvPolicy). */
@@ -94,7 +96,10 @@ double kvFootprintBytes(const KvOptions &kv, double bytesPerToken,
                         std::size_t promptLen, std::size_t decodeLen);
 
 /**
- * Block-granular KV pool ledger (single-threaded, deterministic).
+ * Block-granular KV pool ledger (deterministic; internally
+ * synchronized so shard views and monitors may read it concurrently
+ * with the owning event core — the clang thread-safety lane checks
+ * every ledger access is made under the annotated mutex).
  *
  * Capacity decisions (fits()) read only the allocated-bytes ledger,
  * which changes solely at block boundaries, admissions, preemptions
@@ -138,21 +143,27 @@ class KvBlockManager
      */
     void clearIdleResidual();
 
-    double usedBytes() const { return used_; }
-    double neededBytes() const { return needed_; }
-    double peakUsedBytes() const { return peakUsed_; }
+    double usedBytes() const;
+    double neededBytes() const;
+    double peakUsedBytes() const;
     /** Peak internal fragmentation (allocated - needed) in bytes. */
-    double peakFragmentationBytes() const { return peakFrag_; }
+    double peakFragmentationBytes() const;
     double freeBytes() const;
     /** Free fraction of the pool (1.0 when unbounded). */
     double freeFraction() const;
 
   private:
+    /** freeBytes() body for callers already holding the lock. */
+    double freeBytesLocked() const MCBP_REQUIRES(mutex_);
+
     KvOptions opts_;
-    double used_ = 0.0;   ///< Allocated (block-rounded) bytes.
-    double needed_ = 0.0; ///< Exact bytes the resident tokens need.
-    double peakUsed_ = 0.0;
-    double peakFrag_ = 0.0;
+    mutable Mutex mutex_;
+    /** Allocated (block-rounded) bytes. */
+    double used_ MCBP_GUARDED_BY(mutex_) = 0.0;
+    /** Exact bytes the resident tokens need. */
+    double needed_ MCBP_GUARDED_BY(mutex_) = 0.0;
+    double peakUsed_ MCBP_GUARDED_BY(mutex_) = 0.0;
+    double peakFrag_ MCBP_GUARDED_BY(mutex_) = 0.0;
 };
 
 } // namespace mcbp::engine

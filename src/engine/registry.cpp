@@ -220,23 +220,25 @@ Registry::make(const std::string &spec) const
     // the two compose), `mb=` micro-batches the pipeline's prefill,
     // and the link knobs refine the shared fabric — they require an
     // actual fabric (tp >= 2 or pp >= 2).
-    const bool clustered = p.options.count("tp") != 0;
     ClusterOptions cluster;
-    if (clustered) {
-        cluster.tensorParallel = toCount("tp", p.options.at("tp"));
-        p.options.erase("tp");
+    bool clustered = false;
+    if (auto it = p.options.find("tp"); it != p.options.end()) {
+        clustered = true;
+        cluster.tensorParallel = toCount("tp", it->second);
+        p.options.erase(it);
         fatalIf(cluster.tensorParallel == 0,
                 "tp must be >= 1 in spec '" + spec + "'");
     }
-    const bool pipelined = p.options.count("pp") != 0;
     PipelineOptions pipe;
-    if (pipelined) {
-        pipe.pipelineParallel = toCount("pp", p.options.at("pp"));
-        p.options.erase("pp");
+    bool pipelined = false;
+    if (auto it = p.options.find("pp"); it != p.options.end()) {
+        pipelined = true;
+        pipe.pipelineParallel = toCount("pp", it->second);
+        p.options.erase(it);
         fatalIf(pipe.pipelineParallel == 0,
                 "pp must be >= 1 in spec '" + spec + "'");
     }
-    if (p.options.count("mb") != 0) {
+    if (auto it = p.options.find("mb"); it != p.options.end()) {
         // Micro-batching exists only inside a stage pipeline; at
         // pp<=1 the knob would be a silent no-op, so reject it by
         // presence (like the link knobs below).
@@ -246,8 +248,8 @@ Registry::make(const std::string &spec) const
                                     ? "' has no effect at pp=1 in spec '"
                                     : "' requires pp= in spec '") +
                     spec + "'");
-        pipe.microBatches = toCount("mb", p.options.at("mb"));
-        p.options.erase("mb");
+        pipe.microBatches = toCount("mb", it->second);
+        p.options.erase(it);
         fatalIf(pipe.microBatches == 0,
                 "mb must be >= 1 in spec '" + spec + "'");
     }

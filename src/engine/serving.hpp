@@ -140,9 +140,9 @@ struct ServingOptions
      * from trace synthesis (kFaultStream), so enabling faults never
      * perturbs the costed trace.
      */
-    sim::FaultSpec faults;
+    sim::FaultSpec faults{};
     /** Retry/backoff/deadline knobs of the fault layer. */
-    RetryOptions retry;
+    RetryOptions retry{};
     /**
      * Degraded-topology accelerator (the surviving fleet after one
      * chip failure; see health.hpp's degradedSpec to derive its spec

@@ -402,8 +402,9 @@ TEST(Serving, ZeroDecodeRequestsFinishAtPrefill)
     const ServingReport r = sim.simulate(trace);
     ASSERT_EQ(r.requests.size(), 4u);
     for (const RequestMetrics &m : r.requests) {
-        if (m.id == 2)
+        if (m.id == 2) {
             EXPECT_EQ(m.decodeTokens, 0u);
+        }
         EXPECT_GT(m.completionSeconds, m.arrivalSeconds);
     }
 }
@@ -443,7 +444,7 @@ TEST(Registry, CapabilitiesAgreeWithSimulatedTraits)
     // the simulation must never drift apart.
     const model::Workload &task = model::findTask("Cola");
     Registry registry;
-    for (const std::string &spec :
+    for (const std::string spec :
          {"systolic", "sanger", "spatten", "fact", "sofa", "energon",
           "bitwave", "fusekna", "cambricon-c"}) {
         auto accel = registry.make(spec);

@@ -133,8 +133,9 @@ TEST(EventEquivalence, CoalescedMatchesPerTokenAcrossPolicyMatrix)
                     ServingSimulator(*accel, coal).simulate(trace);
                 SCOPED_TRACE(std::string(spec) + " / " +
                              toString(policy) + " / " + toString(kv));
-                if (kv == KvPolicy::Paged)
+                if (kv == KvPolicy::Paged) {
                     EXPECT_GT(b.preemptions, 0u);
+                }
                 // Per-token runs one loop pass per iteration; the
                 // coalesced run folds them into far fewer windows.
                 EXPECT_EQ(a.decodeWindows, a.decodeIterations);

@@ -79,8 +79,9 @@ TEST(FaultModel, TimelineDeterministicAndSeedSeparated)
         EXPECT_EQ(a[i].kind, b[i].kind);
         EXPECT_EQ(a[i].chip, b[i].chip);
         EXPECT_EQ(a[i].id, i); // Ids are timeline positions.
-        if (i > 0)
+        if (i > 0) {
             EXPECT_LE(a[i - 1].at, a[i].at); // Sorted.
+        }
     }
 
     // A different seed re-draws the processes.

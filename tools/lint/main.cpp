@@ -1,0 +1,68 @@
+/**
+ * @file
+ * mcbp_lint driver: lints the repo's C++ sources for determinism and
+ * concurrency contract violations (see src/lint/linter.hpp for the
+ * rule set and suppression syntax).
+ *
+ * Usage:
+ *   mcbp_lint [--json <path>] [--list-rules] <repo-root> [subdir...]
+ *
+ * With no subdirs, scans src/, bench/, examples/ and tools/ under the
+ * root. Exits 0 when the tree is clean, 1 when any finding survives
+ * suppression, 2 on usage errors. `--json` additionally writes the
+ * machine-readable report (the CI artifact uploaded next to the bench
+ * JSONs).
+ */
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath;
+    std::string root;
+    std::vector<std::string> subdirs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--json needs a path\n");
+                return 2;
+            }
+            jsonPath = argv[++i];
+        } else if (arg == "--list-rules") {
+            for (const std::string &rule : mcbp::lint::ruleNames())
+                std::printf("%s\n", rule.c_str());
+            return 0;
+        } else if (root.empty()) {
+            root = arg;
+        } else {
+            subdirs.push_back(arg);
+        }
+    }
+    if (root.empty()) {
+        std::fprintf(stderr,
+                     "usage: mcbp_lint [--json <path>] [--list-rules] "
+                     "<repo-root> [subdir...]\n");
+        return 2;
+    }
+    if (subdirs.empty())
+        subdirs = {"src", "bench", "examples", "tools"};
+
+    const mcbp::lint::LintResult result =
+        mcbp::lint::lintTree(root, subdirs);
+    std::fputs(mcbp::lint::toText(result).c_str(), stdout);
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+            return 2;
+        }
+        out << mcbp::lint::toJson(result);
+    }
+    return result.findings.empty() ? 0 : 1;
+}
