@@ -6,9 +6,11 @@
  * registry — the A100 roofline and MCBP standard/aggressive at the
  * paper's 148-processor scale — plus a batching ablation, a
  * tensor-parallel cluster sweep, a pipeline-parallel sweep (pp= x mb=
- * micro-batching, including a pp x tp composition), and a KV-capacity
- * study on MCBP: scheduler policies, then reservation-vs-paged KV
- * admission (preempt-and-recompute) under the same stress bound.
+ * micro-batching, including a pp x tp composition), a dp= replica
+ * fleet sweep (the same chips split into independent serving
+ * replicas behind the fleet router), and a KV-capacity study on MCBP:
+ * scheduler policies, then reservation-vs-paged KV admission
+ * (preempt-and-recompute) under the same stress bound.
  *
  * Prints per-request latency percentiles, aggregate tokens/s and
  * J/token, the knobs a serving deployment actually cares about
@@ -206,6 +208,35 @@ main(int argc, char **argv)
         opts.kvPolicy = engine::KvPolicy::Paged;
         engine::ServingSimulator sim(*tp4, opts);
         report(sim.simulate(trace), "kv=paged,tp=4", t, json);
+    }
+
+    // --- Replica fleets: the dp= axis ------------------------------------
+    // dp=N replicates the whole serving group N ways behind the fleet
+    // router: each request runs on exactly one replica (capacity
+    // multiplies, per-request speed does not), the router picks the
+    // replica by outstanding KV pressure (route=least, the default)
+    // or round-robin, and a dead replica drains onto the survivors
+    // through the retry path. Same 8 chips either way: tp=8 is one
+    // fast engine, dp=4,tp=2 is four slower ones that drain a burst
+    // in parallel.
+    for (const char *spec :
+         {"mcbp:procs=148,tp=8", "mcbp:procs=148,dp=2,tp=4",
+          "mcbp:procs=148,dp=4,tp=2",
+          "mcbp:procs=148,dp=4,tp=2,route=rr"}) {
+        auto fleet = registry.make(spec);
+        engine::ServingSimulator sim(*fleet, {8});
+        const std::string setting =
+            std::string(spec).substr(std::string(spec).find(',') + 1) +
+            ",maxBatch=8";
+        report(sim.simulate(trace), setting, t, json);
+    }
+    {
+        auto fleet = registry.make("mcbp:procs=148,dp=4,tp=2");
+        const engine::Capabilities c = fleet->capabilities();
+        std::cout << "\ndp=4,tp=2 fleet: " << c.replicas
+                  << " replicas, " << c.processors << " processors, "
+                  << c.kvShards << " KV shards (fleet HBM "
+                  << c.hbmCapacityBytes / 1e9 << " GB)\n";
     }
 
     // --- Fault injection: retries, failover, SLOs ------------------------

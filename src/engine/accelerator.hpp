@@ -70,6 +70,14 @@ struct Capabilities
      * requests' traversals across this many stages.
      */
     std::size_t pipelineStages = 1;
+    /**
+     * Data-parallel replicas behind this accelerator (FleetAccelerator
+     * sets its dp degree; 1 for a single serving group). Each replica
+     * is a full pp= x tp= group; requests are routed to exactly one, so
+     * a replica's plan() numbers are unchanged by the fleet — only the
+     * aggregate capacity fields above multiply.
+     */
+    std::size_t replicas = 1;
 };
 
 /** Abstract accelerator: one (model, task) inference run at a time. */

@@ -16,22 +16,30 @@ ClusterAccelerator::ClusterAccelerator(std::unique_ptr<Accelerator> chip,
     fatalIf(!chip_, "cluster needs a chip accelerator");
     fatalIf(opts_.tensorParallel == 0,
             "tensor-parallel degree must be >= 1");
-    // A nested cluster's all-reduce serialization is not divisible by
-    // the outer degree, which shardPhase's 1/N rescale would wrongly
-    // assume; hierarchical fabrics are a ROADMAP item. Flatten the
-    // degrees into one tp= instead. (Pipeline-over-cluster IS modeled
-    // — stage partitioning divides layer segments, not finished runs
-    // — but only in that order: build PipelineAccelerator(Cluster),
-    // never Cluster(Pipeline), whose hop floors a 1/N rescale would
-    // likewise corrupt.)
-    fatalIf(dynamic_cast<const ClusterAccelerator *>(chip_.get()) !=
-                nullptr,
-            "nested cluster composition is not modeled; use a single "
-            "tp= degree");
+    // Pipeline-over-cluster IS modeled — stage partitioning divides
+    // layer segments, not finished runs — but only in that order:
+    // build PipelineAccelerator(Cluster), never Cluster(Pipeline),
+    // whose hop floors a 1/N rescale would corrupt.
     fatalIf(dynamic_cast<const PipelineAccelerator *>(chip_.get()) !=
                 nullptr,
             "a cluster cannot shard a pipeline; compose the other way "
             "around (pp= stages of tp= clusters)");
+    // Nested clusters flatten into one innermost-first tier stack so
+    // plan() shards the BASE chip's plan once by the combined degree
+    // and prices collectives hierarchically (sim/collective.hpp) —
+    // never the inner cluster's already-sharded plan, which would
+    // double-count the inner fabric.
+    if (const auto *inner =
+            dynamic_cast<const ClusterAccelerator *>(chip_.get())) {
+        tiers_ = inner->tiers_;
+        base_ = inner->base_;
+        totalDegree_ = inner->totalDegree_ * opts_.tensorParallel;
+    } else {
+        base_ = chip_.get();
+        totalDegree_ = opts_.tensorParallel;
+    }
+    if (opts_.tensorParallel > 1)
+        tiers_.push_back({opts_.tensorParallel, opts_.interconnect});
 }
 
 std::string
@@ -52,8 +60,8 @@ ClusterAccelerator::capabilities() const
     // Every shard stores 1/N of each token's KV (the head split), so
     // per-shard KV capacity is 1/N of the fleet HBM advertised above;
     // serving's block ledger stays aggregate-exact by symmetry (see
-    // kv_block_manager.hpp).
-    c.kvShards = opts_.tensorParallel;
+    // kv_block_manager.hpp). Multiplicative so nested tiers compose.
+    c.kvShards *= opts_.tensorParallel;
     return c;
 }
 
@@ -89,13 +97,12 @@ ClusterAccelerator::configSummary() const
  */
 accel::PhaseMetrics
 ClusterAccelerator::shardPhase(const accel::PhaseMetrics &phase,
+                               const sim::CollectiveTopology &topo,
                                double hidden, double layerSpan,
                                double phaseTokens, double steps,
-                               double gangProcessors,
-                               double clockGhz) const
+                               double gangProcessors) const
 {
-    const double n = static_cast<double>(opts_.tensorParallel);
-    const sim::Interconnect fabric(opts_.interconnect, clockGhz);
+    const double n = static_cast<double>(totalDegree_);
 
     // Invert the model's own composition to find the non-linear rest.
     // A wrapped model's own fixed per-step floor is excluded: latency
@@ -107,13 +114,14 @@ ClusterAccelerator::shardPhase(const accel::PhaseMetrics &phase,
         0.0, phase.cycles - linear_segment - phase.fixedStepCycles);
 
     // One all-reduce carries the layer's activation vector for the
-    // tokens this gang member processes in one step.
+    // tokens this gang member processes in one step. Activation width
+    // is a property of the innermost (intra-group) fabric.
     const double bytes_per_collective =
-        phaseTokens * hidden * opts_.interconnect.bytesPerActivation /
-        gangProcessors;
+        phaseTokens * hidden *
+        topo.tiers().front().link.bytesPerActivation / gangProcessors;
     const double collectives = 2.0 * layerSpan * steps;
     const sim::InterconnectCost per_collective =
-        fabric.allReduce(bytes_per_collective, opts_.tensorParallel);
+        topo.allReduce(bytes_per_collective);
     const double ic_cycles = per_collective.cycles() * collectives;
     const double ic_pj = per_collective.energyPj * collectives;
 
@@ -160,14 +168,19 @@ accel::ExecutionPlan
 ClusterAccelerator::plan(const model::LlmConfig &model,
                          const model::Workload &task) const
 {
-    fatalIf(model.heads % opts_.tensorParallel != 0,
-            "tensor-parallel degree " +
-                std::to_string(opts_.tensorParallel) +
+    fatalIf(model.heads % totalDegree_ != 0,
+            "tensor-parallel degree " + std::to_string(totalDegree_) +
                 " must divide " + model.name + "'s " +
                 std::to_string(model.heads) + " attention heads");
-    accel::ExecutionPlan inner = chip_->plan(model, task);
     if (opts_.tensorParallel == 1)
-        return inner; // identity: bit-for-bit the bare chip.
+        return chip_->plan(model, task); // identity: bit-for-bit.
+
+    // Shard the BASE chip's plan by the combined degree of the
+    // flattened tier stack — for an unnested cluster base_ is the
+    // wrapped chip and this is the single-tier path, bit-identical to
+    // the flat ring (CollectiveTopology delegates).
+    accel::ExecutionPlan inner = base_->plan(model, task);
+    const sim::CollectiveTopology topo(tiers_, inner.clockGhz);
 
     const double gang = static_cast<double>(inner.processors);
     const double hidden = static_cast<double>(model.hidden);
@@ -178,28 +191,25 @@ ClusterAccelerator::plan(const model::LlmConfig &model,
 
     accel::ExecutionPlan out = inner;
     out.accelerator = name();
-    out.processors = inner.processors * opts_.tensorParallel;
+    out.processors = inner.processors * totalDegree_;
     out.prefill =
-        shardPhase(inner.prefill, hidden,
+        shardPhase(inner.prefill, topo, hidden,
                    static_cast<double>(model.layers), prefill_tokens,
-                   1.0, gang, inner.clockGhz);
+                   1.0, gang);
     if (task.decodeLen > 0)
-        out.decode = shardPhase(inner.decode, hidden,
+        out.decode = shardPhase(inner.decode, topo, hidden,
                                 static_cast<double>(model.layers),
-                                decode_tokens, steps, gang,
-                                inner.clockGhz);
+                                decode_tokens, steps, gang);
     // Shard each layer segment the same way, each span paying the
     // collectives of its own layers; a single full-stack segment
     // shards to exactly the totals above.
     for (accel::PlanSegment &seg : out.segments) {
         const double span = static_cast<double>(seg.layerCount);
-        seg.prefill = shardPhase(seg.prefill, hidden, span,
-                                 prefill_tokens, 1.0, gang,
-                                 inner.clockGhz);
+        seg.prefill = shardPhase(seg.prefill, topo, hidden, span,
+                                 prefill_tokens, 1.0, gang);
         if (task.decodeLen > 0)
-            seg.decode =
-                shardPhase(seg.decode, hidden, span, decode_tokens,
-                           steps, gang, inner.clockGhz);
+            seg.decode = shardPhase(seg.decode, topo, hidden, span,
+                                    decode_tokens, steps, gang);
     }
     return out;
 }

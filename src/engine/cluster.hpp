@@ -23,8 +23,18 @@
  * is how a PipelineAccelerator wraps a cluster (pp= over tp=); the
  * reverse nesting is rejected in the constructor.
  *
+ * Clusters NEST: wrapping a cluster in a cluster builds a hierarchical
+ * tensor group (registry: tp= inner tier, tp2= outer tier), priced by
+ * sim::CollectiveTopology — the constructor flattens the chain into
+ * one innermost-first tier stack and plan() shards the BASE chip's
+ * plan by the combined degree, so the inner fast fabric carries the
+ * full activation vector and the outer boundary fabric only the
+ * 1/degree shard its reduce-scatter leaves behind. A single tier
+ * prices through the same topology, which delegates verbatim to the
+ * flat ring — so existing tp= specs are bit-identical.
+ *
  * KV capacity scales with the fleet: capabilities() advertises N x
- * the chip's HBM and sets Capabilities::kvShards = N — each shard
+ * the chip's HBM and multiplies Capabilities::kvShards by N — each shard
  * stores 1/N of every token's KV (the head split), so per-shard KV
  * capacity is 1/N of the fleet HBM and the serving engine's aggregate
  * block accounting is exact by shard symmetry (kv_block_manager.hpp).
@@ -37,6 +47,7 @@
 #include <string>
 
 #include "engine/accelerator.hpp"
+#include "sim/collective.hpp"
 #include "sim/interconnect.hpp"
 
 namespace mcbp::engine {
@@ -94,16 +105,32 @@ class ClusterAccelerator : public Accelerator
 
     const Accelerator &underlying() const { return *chip_; }
     const ClusterOptions &options() const { return opts_; }
+    /** Flattened fabric hierarchy, innermost tier first. */
+    const std::vector<sim::CollectiveTier> &tiers() const
+    {
+        return tiers_;
+    }
+    /** Combined tensor degree across all nested tiers. */
+    std::size_t totalDegree() const { return totalDegree_; }
 
   private:
     accel::PhaseMetrics shardPhase(const accel::PhaseMetrics &phase,
+                                   const sim::CollectiveTopology &topo,
                                    double hidden, double layerSpan,
                                    double phaseTokens, double steps,
-                                   double gangProcessors,
-                                   double clockGhz) const;
+                                   double gangProcessors) const;
 
     std::unique_ptr<Accelerator> chip_;
     ClusterOptions opts_;
+    /** Fabric tiers of the flattened cluster chain, innermost first. */
+    std::vector<sim::CollectiveTier> tiers_;
+    /** The innermost non-cluster accelerator (not owned; owned by the
+     *  chip_ chain). Its plan is the sharding base for the whole
+     *  hierarchy, so nested tiers never rescale an already-sharded
+     *  plan. */
+    const Accelerator *base_ = nullptr;
+    /** Product of all tier degrees. */
+    std::size_t totalDegree_ = 1;
 };
 
 } // namespace mcbp::engine

@@ -80,12 +80,20 @@ degradedSpec(const std::string &spec)
         return 1; // Absent axis = degree 1.
     };
     std::size_t tp = axis("tp");
+    std::size_t tp2 = axis("tp2");
     std::size_t pp = axis("pp");
 
-    // Halve the widest redundant axis: the tensor group loses a shard
-    // pair first (its collective re-forms cheapest), then the
-    // pipeline re-partitions. No redundancy -> no degraded form.
-    if (tp >= 2)
+    // Halve the widest redundant axis. The outer tensor tier goes
+    // first: a chip failure excises its whole inner tp= group, so the
+    // tp2= ring loses a member while the surviving groups keep their
+    // shape (and tp2's tp>=2 requirement stays satisfiable). Then the
+    // inner tensor group loses a shard pair, then the pipeline
+    // re-partitions. dp= is NOT intra-replica redundancy — the fleet
+    // reroutes around a dead replica instead of shrinking one — so a
+    // spec whose only multi-chip axis is dp= has no degraded form.
+    if (tp2 >= 2)
+        tp2 /= 2;
+    else if (tp >= 2)
         tp /= 2;
     else if (pp >= 2)
         pp /= 2;
@@ -93,6 +101,7 @@ degradedSpec(const std::string &spec)
         return "";
 
     const bool has_fabric = tp > 1 || pp > 1;
+    const bool has_tier2 = tp2 > 1 || pp > 1;
     std::string out = name;
     char sep = ':';
     for (const auto &kv : options) {
@@ -101,6 +110,10 @@ degradedSpec(const std::string &spec)
             if (tp <= 1)
                 continue; // tp=1 is the registry's no-fabric no-op.
             value = std::to_string(tp);
+        } else if (kv.first == "tp2") {
+            if (tp2 <= 1)
+                continue; // tp2=1 is the flat single-tier ring.
+            value = std::to_string(tp2);
         } else if (kv.first == "pp") {
             if (pp <= 1)
                 continue;
@@ -112,6 +125,10 @@ degradedSpec(const std::string &spec)
                    kv.first == "hops") {
             if (!has_fabric)
                 continue; // Link knobs need a multi-chip fabric.
+        } else if (kv.first == "linkgbs2" || kv.first == "linkpj2" ||
+                   kv.first == "hops2") {
+            if (!has_tier2)
+                continue; // Tier-2 knobs need a boundary fabric.
         }
         out += sep;
         sep = ',';

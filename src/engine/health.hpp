@@ -33,11 +33,16 @@ namespace mcbp::engine {
 
 /**
  * Spec of the surviving topology after one chip failure: the highest
- * parallel axis (tp first, then pp) halved, with knobs the smaller
- * topology cannot accept (axes at 1, `mb=` without a pipeline, link
- * knobs without a fabric) dropped. Returns "" when @p spec has no
- * redundancy to fail over to (tp and pp both absent or 1).
- * fatal() on a malformed spec (same grammar as Registry::make).
+ * parallel axis (tp2 first — a failed chip excises its whole inner
+ * tp= group from the outer ring — then tp, then pp) halved, with
+ * knobs the smaller topology cannot accept (axes at 1, `mb=` without
+ * a pipeline, link knobs without a fabric, tier-2 link knobs without
+ * a boundary fabric) dropped. `dp=` and `route=` pass through
+ * verbatim: the replica fleet reroutes around a dead replica rather
+ * than shrinking one, so dp= alone is no intra-replica redundancy.
+ * Returns "" when @p spec has nothing to fail over to (tp2, tp and
+ * pp all absent or 1). fatal() on a malformed spec (same grammar as
+ * Registry::make).
  */
 std::string degradedSpec(const std::string &spec);
 

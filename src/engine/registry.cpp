@@ -10,6 +10,7 @@
 #include "common/logging.hpp"
 #include "engine/adapters.hpp"
 #include "engine/cluster.hpp"
+#include "engine/fleet.hpp"
 #include "engine/pipeline.hpp"
 
 namespace mcbp::engine {
@@ -99,7 +100,8 @@ const std::vector<std::string> &
 topologyKeys()
 {
     static const std::vector<std::string> keys = {
-        "tp", "pp", "mb", "linkgbs", "linkpj", "hops"};
+        "tp",      "tp2",    "pp",   "mb",       "dp",      "route",
+        "linkgbs", "linkpj", "hops", "linkgbs2", "linkpj2", "hops2"};
     return keys;
 }
 
@@ -214,12 +216,18 @@ Registry::make(const std::string &spec) const
     ParsedSpec p = parseSpec(spec);
 
     // Topology options apply to every design: `tp=N` shards the chip
-    // N-way (tensor parallel) behind a ClusterAccelerator, `pp=N`
-    // splits the layers across N stages behind a PipelineAccelerator
-    // over the cluster (stage partitioning divides layer segments, so
-    // the two compose), `mb=` micro-batches the pipeline's prefill,
-    // and the link knobs refine the shared fabric — they require an
-    // actual fabric (tp >= 2 or pp >= 2).
+    // N-way (tensor parallel) behind a ClusterAccelerator, `tp2=M`
+    // tiers M such groups over the boundary fabric (hierarchical
+    // collectives — a nested cluster), `pp=N` splits the layers across
+    // N stages behind a PipelineAccelerator over the cluster(s) (stage
+    // partitioning divides layer segments, so the three compose),
+    // `mb=` micro-batches the pipeline's prefill, `dp=N` replicates
+    // the whole group N ways behind a FleetAccelerator with `route=`
+    // replica selection, and the link knobs refine the fabrics: tier 1
+    // (`linkgbs`/`linkpj`/`hops`) is the intra-group all-reduce ring,
+    // tier 2 (`linkgbs2`/`linkpj2`/`hops2`) the boundary fabric the
+    // outer tensor tier and the pipeline's stage handoffs share —
+    // each requires the fabric it refines to exist.
     ClusterOptions cluster;
     bool clustered = false;
     if (auto it = p.options.find("tp"); it != p.options.end()) {
@@ -228,6 +236,23 @@ Registry::make(const std::string &spec) const
         p.options.erase(it);
         fatalIf(cluster.tensorParallel == 0,
                 "tp must be >= 1 in spec '" + spec + "'");
+    }
+    ClusterOptions outerCluster;
+    bool tiered = false;
+    if (auto it = p.options.find("tp2"); it != p.options.end()) {
+        // An outer tier needs inner tp >= 2 groups to join; anything
+        // else would be a silent no-op or an ambiguous flat degree.
+        fatalIf(!clustered || cluster.tensorParallel <= 1,
+                "option 'tp2" +
+                    std::string(clustered
+                                    ? "' has no effect at tp=1 in spec '"
+                                    : "' requires tp= in spec '") +
+                    spec + "'");
+        outerCluster.tensorParallel = toCount("tp2", it->second);
+        p.options.erase(it);
+        fatalIf(outerCluster.tensorParallel == 0,
+                "tp2 must be >= 1 in spec '" + spec + "'");
+        tiered = outerCluster.tensorParallel > 1;
     }
     PipelineOptions pipe;
     bool pipelined = false;
@@ -253,9 +278,36 @@ Registry::make(const std::string &spec) const
         fatalIf(pipe.microBatches == 0,
                 "mb must be >= 1 in spec '" + spec + "'");
     }
+    // dp=: data-parallel replica fleet above the serving engine
+    // (engine/fleet.hpp); route= picks the replica-selection policy
+    // and would be a silent no-op with a single replica.
+    FleetOptions fleetOpts;
+    bool dataParallel = false;
+    if (auto it = p.options.find("dp"); it != p.options.end()) {
+        dataParallel = true;
+        fleetOpts.dataParallel = toCount("dp", it->second);
+        p.options.erase(it);
+        fatalIf(fleetOpts.dataParallel == 0,
+                "dp must be >= 1 in spec '" + spec + "'");
+    }
+    if (auto it = p.options.find("route"); it != p.options.end()) {
+        fatalIf(!dataParallel || fleetOpts.dataParallel <= 1,
+                "option 'route" +
+                    std::string(dataParallel
+                                    ? "' has no effect at dp=1 in spec '"
+                                    : "' requires dp= in spec '") +
+                    spec + "'");
+        fleetOpts.policy = replicaPolicyFromString(toLower(it->second));
+        p.options.erase(it);
+    }
     const bool has_fabric =
         (clustered && cluster.tensorParallel > 1) ||
-        (pipelined && pipe.pipelineParallel > 1);
+        (pipelined && pipe.pipelineParallel > 1) || tiered;
+    // The tier-2 (boundary) fabric exists whenever the topology
+    // crosses group boundaries: an outer tensor tier or stage
+    // handoffs between pipeline stages.
+    const bool has_tier2 =
+        tiered || (pipelined && pipe.pipelineParallel > 1);
     if (has_fabric) {
         auto takeLink = [&p](const char *key, double fallback,
                              double min) {
@@ -271,15 +323,24 @@ Registry::make(const std::string &spec) const
             return v;
         };
         // Only the bandwidth is a divisor; zero link energy or hop
-        // latency are meaningful ideal-fabric points. One link
-        // technology serves both fabrics: the tp= all-reduce ring and
-        // the pp= stage-boundary links.
+        // latency are meaningful ideal-fabric points. Tier 1 is the
+        // intra-group all-reduce ring; the boundary fabric (outer
+        // tensor tier + pp= stage handoffs) inherits the same link
+        // technology unless the *2 knobs override it, so specs
+        // without them price exactly as before.
         sim::InterconnectConfig link;
         link.linkGBs = takeLink("linkgbs", link.linkGBs, 1e-12);
         link.pJPerBit = takeLink("linkpj", link.pJPerBit, 0.0);
         link.hopCycles = takeLink("hops", link.hopCycles, 0.0);
         cluster.interconnect = link;
-        pipe.interconnect = link;
+        sim::InterconnectConfig link2 = link;
+        if (has_tier2) {
+            link2.linkGBs = takeLink("linkgbs2", link2.linkGBs, 1e-12);
+            link2.pJPerBit = takeLink("linkpj2", link2.pJPerBit, 0.0);
+            link2.hopCycles = takeLink("hops2", link2.hopCycles, 0.0);
+        }
+        outerCluster.interconnect = link2;
+        pipe.interconnect = link2;
     } else {
         // Without a multi-chip fabric, link overrides would be silent
         // no-ops (tp=1/pp=1 never touch it); reject them by presence.
@@ -291,14 +352,27 @@ Registry::make(const std::string &spec) const
                              : "' requires tp= or pp= in spec '") +
                         spec + "'");
     }
+    if (!has_tier2)
+        for (const char *key : {"linkgbs2", "linkpj2", "hops2"})
+            fatalIf(p.options.count(key) != 0,
+                    "option '" + std::string(key) +
+                        "' requires a boundary fabric (tp2 >= 2 or "
+                        "pp >= 2) in spec '" +
+                        spec + "'");
     auto finish = [&](std::unique_ptr<Accelerator> chip)
         -> std::unique_ptr<Accelerator> {
         if (clustered)
             chip = std::make_unique<ClusterAccelerator>(std::move(chip),
                                                         cluster);
+        if (tiered)
+            chip = std::make_unique<ClusterAccelerator>(std::move(chip),
+                                                        outerCluster);
         if (pipelined)
             chip = std::make_unique<PipelineAccelerator>(std::move(chip),
                                                          pipe);
+        if (dataParallel)
+            chip = std::make_unique<FleetAccelerator>(std::move(chip),
+                                                      fleetOpts);
         return chip;
     };
 

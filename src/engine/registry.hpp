@@ -29,14 +29,31 @@
  *                            model's layer count)
  *   mb=N                     prefill micro-batches per batch
  *                            (requires pp >= 2)
- *   linkgbs|linkpj|hops=X    fabric knobs: link GB/s, pJ/bit, per-hop
- *                            cycles — shared by the tp= all-reduce
- *                            ring and the pp= boundary links (require
- *                            tp >= 2 or pp >= 2)
+ *   tp2=M                    tier M tp= groups over the boundary
+ *                            fabric (hierarchical all-reduce; nested
+ *                            ClusterAccelerator; requires tp >= 2)
+ *   dp=N                     replicate the whole pp= x tp= group N
+ *                            ways behind a FleetAccelerator (each
+ *                            request served by one replica; dp=1 is
+ *                            bit-identical to no dp= at serving time)
+ *   route=least|rr           fleet replica-selection policy:
+ *                            least-loaded by outstanding KV bytes
+ *                            (default) or round-robin (requires
+ *                            dp >= 2)
+ *   linkgbs|linkpj|hops=X    tier-1 fabric knobs: link GB/s, pJ/bit,
+ *                            per-hop cycles of the intra-group
+ *                            all-reduce ring (require tp >= 2 or
+ *                            pp >= 2)
+ *   linkgbs2|linkpj2|hops2=X tier-2 (boundary) fabric knobs, shared
+ *                            by the tp2= outer ring and the pp= stage
+ *                            handoffs; default to the tier-1 values
+ *                            (require tp2 >= 2 or pp >= 2)
  *
  * Examples: "mcbp:procs=148", "mcbp:bgpp=0", "a100:bstc=1,bgpp=1",
  *           "mcbp:procs=148,tp=4", "a100:tp=8,linkgbs=600",
- *           "mcbp-s:pp=4,tp=2,mb=8,linkgbs=600".
+ *           "mcbp-s:pp=4,tp=2,mb=8,linkgbs=600",
+ *           "mcbp-s:tp=4,tp2=2,linkgbs2=100,hops2=400",
+ *           "mcbp-s:dp=4,pp=4,tp=8,route=least".
  *
  * All accelerators built by one Registry share one thread-safe
  * accel::ProfileCache, so a fleet profiles each workload exactly once.

@@ -9,6 +9,7 @@
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "engine/event_core.hpp"
+#include "engine/fleet.hpp"
 
 namespace mcbp::engine {
 
@@ -283,6 +284,14 @@ ServingSimulator::costTrace(const std::vector<model::Request> &trace) const
 ServingReport
 ServingSimulator::simulate(const std::vector<model::Request> &trace) const
 {
+    // A data-parallel fleet serves through the replica router: each
+    // request runs on exactly one replica's event core and the
+    // per-replica reports merge into one fleet report (engine/fleet).
+    // dp=1 delegates wholesale to a single-replica simulator, so a
+    // dp=1 fleet report is bit-identical to the flat path.
+    if (const auto *fleet = dynamic_cast<const FleetAccelerator *>(accel_))
+        return FleetRouter(*fleet, opts_).simulate(trace).fleet;
+
     ServingReport report;
     report.accelerator = accel_->name();
     report.kvPolicy = toString(opts_.kvPolicy);
@@ -447,6 +456,19 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
         report.faultLog.push_back(fi);
     }
 
+    finalizeServingAggregates(report, trace.size());
+    if (report.noCompletions)
+        return report;
+    report.meanBatchOccupancy =
+        stats.iterations > 0
+            ? stats.occupancySum / static_cast<double>(stats.iterations)
+            : 0.0;
+    return report;
+}
+
+void
+finalizeServingAggregates(ServingReport &report, std::size_t traceSize)
+{
     // Percentiles are only defined over completed requests; an empty
     // completion set (everything rejected or dropped) keeps the
     // zeroed report fields instead of indexing into empty sample
@@ -454,7 +476,7 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
     // an empty trace.
     if (report.requests.empty()) {
         report.noCompletions = true;
-        return report;
+        return;
     }
 
     std::vector<double> latencies;
@@ -517,14 +539,9 @@ ServingSimulator::simulate(const std::vector<model::Request> &trace) const
             ? good_tokens / report.makespanSeconds
             : 0.0;
     report.sloAttainment = static_cast<double>(compliant) /
-                           static_cast<double>(trace.size());
+                           static_cast<double>(traceSize);
     report.joulesPerToken =
         total_tokens > 0.0 ? total_joules / total_tokens : 0.0;
-    report.meanBatchOccupancy =
-        stats.iterations > 0
-            ? stats.occupancySum / static_cast<double>(stats.iterations)
-            : 0.0;
-    return report;
 }
 
 } // namespace mcbp::engine

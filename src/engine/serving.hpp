@@ -311,6 +311,19 @@ struct ServingReport
     }
 };
 
+/**
+ * Recompute every sample-derived aggregate of @p report from its
+ * requests vector (latency/queue/TTFT percentiles, mean TPOT,
+ * tokens-per-second, goodput, SLO attainment, joules-per-token) —
+ * makespanSeconds must already be set. Sets noCompletions and leaves
+ * the fields zeroed when requests is empty. Shared by simulate()'s
+ * aggregation and the fleet report merge (engine/fleet.hpp), so a
+ * merged fleet report's percentiles follow exactly the single-engine
+ * definition.
+ */
+void finalizeServingAggregates(ServingReport &report,
+                               std::size_t traceSize);
+
 /** Continuous-batching serving simulator over one accelerator. */
 class ServingSimulator
 {

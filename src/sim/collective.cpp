@@ -1,0 +1,124 @@
+#include "sim/collective.hpp"
+
+#include "common/logging.hpp"
+
+namespace mcbp::sim {
+
+namespace {
+
+void
+accumulate(InterconnectCost &into, const InterconnectCost &add)
+{
+    into.bandwidthCycles += add.bandwidthCycles;
+    into.latencyCycles += add.latencyCycles;
+    into.energyPj += add.energyPj;
+}
+
+} // namespace
+
+CollectiveTopology::CollectiveTopology(std::vector<CollectiveTier> tiers,
+                                       double clockGhz)
+    : tiers_(std::move(tiers)), clockGhz_(clockGhz)
+{
+    fatalIf(clockGhz_ <= 0.0,
+            "collective topology needs a positive core clock");
+    for (const CollectiveTier &tier : tiers_) {
+        fatalIf(tier.degree == 0, "collective tier degree must be >= 1");
+        fatalIf(tier.degree > 1 && tier.link.linkGBs <= 0.0,
+                "collective tier link bandwidth must be > 0");
+    }
+}
+
+std::size_t
+CollectiveTopology::chips() const
+{
+    std::size_t total = 1;
+    for (const CollectiveTier &tier : tiers_)
+        total *= tier.degree;
+    return total;
+}
+
+InterconnectCost
+CollectiveTopology::ringHalf(const CollectiveTier &tier, double bytes) const
+{
+    // One half of a ring all-reduce (reduce-scatter OR all-gather):
+    // (N-1)/N of the vector over N-1 hops.
+    InterconnectCost cost;
+    if (tier.degree <= 1 || bytes <= 0.0)
+        return cost;
+    const double n = static_cast<double>(tier.degree);
+    const double per_chip_bytes = (n - 1.0) / n * bytes;
+    const double bytes_per_cycle = tier.link.linkGBs / clockGhz_;
+    cost.bandwidthCycles = per_chip_bytes / bytes_per_cycle;
+    cost.latencyCycles = (n - 1.0) * tier.link.hopCycles;
+    cost.energyPj = per_chip_bytes * 8.0 * tier.link.pJPerBit;
+    return cost;
+}
+
+InterconnectCost
+CollectiveTopology::allReduceFrom(std::size_t first, double bytes) const
+{
+    InterconnectCost cost;
+    if (bytes <= 0.0)
+        return cost;
+
+    // Skip degree-1 tiers: they join nothing and price nothing.
+    std::size_t inner = first;
+    while (inner < tiers_.size() && tiers_[inner].degree <= 1)
+        ++inner;
+    if (inner >= tiers_.size())
+        return cost;
+
+    bool outermost = true;
+    for (std::size_t k = inner + 1; k < tiers_.size(); ++k)
+        if (tiers_[k].degree > 1)
+            outermost = false;
+
+    if (outermost) {
+        // Single effective tier: delegate to the flat ring verbatim so
+        // a one-tier topology is bit-identical to Interconnect.
+        Interconnect flat(tiers_[inner].link, clockGhz_);
+        return flat.allReduce(bytes, tiers_[inner].degree);
+    }
+
+    // Reduce-scatter inside, all-reduce the per-chip shard across the
+    // outer tiers, then all-gather back out.
+    const InterconnectCost half = ringHalf(tiers_[inner], bytes);
+    accumulate(cost, half);
+    accumulate(cost, half);
+    const double shard =
+        bytes / static_cast<double>(tiers_[inner].degree);
+    accumulate(cost, allReduceFrom(inner + 1, shard));
+    return cost;
+}
+
+InterconnectCost
+CollectiveTopology::allReduce(double bytes) const
+{
+    return allReduceFrom(0, bytes);
+}
+
+InterconnectCost
+CollectiveTopology::reduceScatter(double bytes) const
+{
+    InterconnectCost cost;
+    if (bytes <= 0.0)
+        return cost;
+    double shard = bytes;
+    for (const CollectiveTier &tier : tiers_) {
+        if (tier.degree <= 1)
+            continue;
+        accumulate(cost, ringHalf(tier, shard));
+        shard /= static_cast<double>(tier.degree);
+    }
+    return cost;
+}
+
+InterconnectCost
+CollectiveTopology::allGather(double bytes) const
+{
+    // The mirror of reduceScatter: identical per-tier traffic.
+    return reduceScatter(bytes);
+}
+
+} // namespace mcbp::sim

@@ -150,16 +150,33 @@ TEST(Cluster, BatchSharesTheAllReduceLatencyFloor)
     EXPECT_GT(r.batchingSpeedup(), 4.0);
 }
 
-TEST(Cluster, NestedClustersAreRejected)
+TEST(Cluster, NestedClustersFlattenIntoCollectiveTiers)
 {
-    // The outer 1/N rescale would wrongly divide the inner fabric's
-    // all-reduce serialization; nesting is rejected until the model
-    // grows hierarchical collectives (ROADMAP). Flatten tp= instead.
+    // Nesting used to be rejected; with hierarchical collectives the
+    // outer cluster flattens the inner one into a tier stack and
+    // prices the tree all-reduce over it (sim/collective). The gang
+    // shards the base chip once by the total degree — never re-shards
+    // an already-sharded plan.
     Registry registry;
     ClusterOptions outer;
     outer.tensorParallel = 2;
-    EXPECT_THROW(ClusterAccelerator(registry.make("mcbp:tp=2"), outer),
-                 std::runtime_error);
+    ClusterAccelerator nested(registry.make("mcbp:procs=2,tp=2"), outer);
+    EXPECT_EQ(nested.totalDegree(), 4u);
+    ASSERT_EQ(nested.tiers().size(), 2u);
+    EXPECT_EQ(nested.tiers()[0].degree, 2u); // innermost first
+    EXPECT_EQ(nested.tiers()[1].degree, 2u);
+    EXPECT_EQ(nested.capabilities().processors, 8u);
+    EXPECT_EQ(nested.capabilities().kvShards, 4u);
+
+    const accel::RunMetrics rm =
+        nested.run(llama7b(), model::findTask("MBPP"));
+    EXPECT_EQ(rm.processors, 8u); // 2 procs/chip x 4 chips
+    EXPECT_GT(rm.decode.energy.interconnectPj, 0.0);
+    // Same logical work as the flat tp=4 gang.
+    const accel::RunMetrics flat =
+        registry.make("mcbp:procs=2,tp=4")->run(llama7b(),
+                                                model::findTask("MBPP"));
+    EXPECT_EQ(rm.decode.denseMacs, flat.decode.denseMacs);
 }
 
 TEST(Cluster, TpMustDivideAttentionHeads)
